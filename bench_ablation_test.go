@@ -1,0 +1,145 @@
+package scdn
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scdn/internal/casestudy"
+	"scdn/internal/partition"
+	"scdn/internal/placement"
+)
+
+// BenchmarkHitRadiusAblation measures the DESIGN.md hop-sensitivity
+// ablation: the paper's hit definition (1 hop) vs. a 2-hop radius, for
+// Community Node Degree at k=10 on the baseline graph.
+func BenchmarkHitRadiusAblation(b *testing.B) {
+	cfg := casestudy.DefaultConfig()
+	cfg.Runs = 30
+	s, err := casestudy.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var hop1, hop2 float64
+	for i := 0; i < b.N; i++ {
+		r1 := placement.Evaluate(s.Baseline.Graph, s.TestEvents, placement.CommunityNodeDegree{},
+			placement.EvalConfig{Replicas: 10, Runs: 30, HitRadius: 1, Seed: 42})
+		r2 := placement.Evaluate(s.Baseline.Graph, s.TestEvents, placement.CommunityNodeDegree{},
+			placement.EvalConfig{Replicas: 10, Runs: 30, HitRadius: 2, Seed: 42})
+		hop1, hop2 = r1.HitRate, r2.HitRate
+	}
+	b.ReportMetric(hop1, "hop1")
+	b.ReportMetric(hop2, "hop2")
+}
+
+// BenchmarkPartitioningLocality compares the Section V-D stage-two
+// partitioners (round-robin, usage-based, social-group) by locality score
+// on the trusted subgraph with a socially local usage profile.
+func BenchmarkPartitioningLocality(b *testing.B) {
+	cfg := casestudy.DefaultConfig()
+	cfg.Runs = 1
+	s, err := casestudy.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := s.Few.Graph
+	nodes := g.Nodes()
+	rng := rand.New(rand.NewSource(13))
+
+	// 24 segments; usage concentrated around each segment's "home" node's
+	// neighbourhood (socially local access).
+	var segments []partition.Segment
+	usage := make(partition.Usage)
+	for i := 0; i < 24; i++ {
+		id := partition.Segment{ID: storageID(i), Bytes: 1e9}
+		segments = append(segments, id)
+		home := nodes[rng.Intn(len(nodes))]
+		for _, reader := range append(g.Neighbors(home), home) {
+			if usage[reader] == nil {
+				usage[reader] = map[storageDatasetID]uint64{}
+			}
+			usage[reader][storageID(i)] += uint64(1 + rng.Intn(20))
+		}
+	}
+	replicas := placement.CommunityNodeDegree{}.Place(g, 10, rng)
+	params := partition.Params{Graph: g, Replicas: replicas, CopiesPerSegment: 2}
+
+	b.ResetTimer()
+	var rrScore, usageScore, socialScore float64
+	for i := 0; i < b.N; i++ {
+		if a, err := partition.RoundRobin(segments, params); err == nil {
+			rrScore = partition.LocalityScore(a, usage, g)
+		}
+		if a, err := partition.UsageBased(segments, usage, params); err == nil {
+			usageScore = partition.LocalityScore(a, usage, g)
+		}
+		if a, err := partition.SocialGroupBased(segments, usage, params,
+			rand.New(rand.NewSource(int64(i)))); err == nil {
+			socialScore = partition.LocalityScore(a, usage, g)
+		}
+	}
+	b.ReportMetric(rrScore, "roundrobin")
+	b.ReportMetric(usageScore, "usage")
+	b.ReportMetric(socialScore, "social")
+}
+
+// BenchmarkStrategyAblation runs the full simulation under churn with
+// each placement strategy and reports the resulting hit ratios — the
+// DESIGN.md "social vs. traditional placement" ablation at system level.
+func BenchmarkStrategyAblation(b *testing.B) {
+	runOne := func(strategy string) float64 {
+		study, err := NewStudy(StudyConfig{Seed: 42, Runs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		community, err := study.Community("fewauthors", 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := DefaultOptions(42)
+		opts.Strategy = strategy
+		opts.Churn = true
+		opts.MigrationUptimeFloor = 0.4
+		net, err := community.Build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := GenerateSocialWorkload(net, WorkloadConfig{
+			Seed: 7, Datasets: 20, Requests: 800,
+			Duration: 3 * 24 * time.Hour, SocialLocality: 0.7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range wl.Datasets {
+			if err := net.Publish(d.Owner, d.ID, d.Bytes); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.Replicate(d.ID, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Schedule(wl.Requests)
+		net.Run(3 * 24 * time.Hour)
+		cdn, _ := net.Metrics()
+		return cdn.HitRatio()
+	}
+	b.ResetTimer()
+	var social, trust, avail float64
+	for i := 0; i < b.N; i++ {
+		social = runOne("social")
+		trust = runOne("trust")
+		avail = runOne("availability")
+	}
+	b.ReportMetric(social, "social-hit")
+	b.ReportMetric(trust, "trust-hit")
+	b.ReportMetric(avail, "availability-hit")
+}
+
+// storageDatasetID mirrors the internal dataset ID type for bench inputs.
+type storageDatasetID = DatasetID
+
+func storageID(i int) DatasetID {
+	return DatasetID(rune('a'+i%26)) + DatasetID(rune('0'+i/26))
+}

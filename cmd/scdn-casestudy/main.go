@@ -1,0 +1,231 @@
+// Command scdn-casestudy regenerates the paper's Section VI evaluation:
+// Table I (trust subgraph sizes), Fig. 2 (topology statistics and DOT
+// exports), the three Fig. 3 panels (replica hit rate vs. replica count
+// per placement algorithm), and the trust-threshold ablations described
+// in DESIGN.md.
+//
+// Usage:
+//
+//	scdn-casestudy                    # Table I + all Fig. 3 panels
+//	scdn-casestudy -table1            # Table I only
+//	scdn-casestudy -fig2              # Fig. 2 statistics
+//	scdn-casestudy -fig3 baseline     # one Fig. 3 panel
+//	scdn-casestudy -ablation          # trust-threshold sweeps
+//	scdn-casestudy -dot out/          # write Fig. 2 DOT files
+//	scdn-casestudy -extended          # include non-paper algorithms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"scdn/internal/casestudy"
+	"scdn/internal/coauthor"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "experiment seed (corpus + placements)")
+		runs     = flag.Int("runs", 100, "placements averaged per point (paper: 100)")
+		maxReps  = flag.Int("max-replicas", 10, "largest replica count evaluated")
+		radius   = flag.Int("hit-radius", 1, "hops from a replica counting as a hit")
+		table1   = flag.Bool("table1", false, "print Table I only")
+		fig2     = flag.Bool("fig2", false, "print Fig. 2 topology statistics")
+		fig3     = flag.String("fig3", "", "print one Fig. 3 panel: baseline|double|fewauthors")
+		ablation = flag.Bool("ablation", false, "run trust-threshold sweeps")
+		dotDir   = flag.String("dot", "", "directory to write Fig. 2 DOT files into")
+		extended = flag.Bool("extended", false, "also evaluate non-paper algorithms")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+
+		dblpPath   = flag.String("dblp", "", "run on a real DBLP XML export instead of the synthetic corpus")
+		seedAuthor = flag.String("seed-author", "Kyle Chard", "ego author name (with -dblp)")
+		trainFrom  = flag.Int("train-from", 2009, "training window start year (with -dblp)")
+		trainTo    = flag.Int("train-to", 2010, "training window end year (with -dblp)")
+		testYear   = flag.Int("test-year", 2011, "evaluation year (with -dblp)")
+	)
+	flag.Parse()
+
+	cfg := casestudy.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	cfg.MaxReplicas = *maxReps
+	cfg.HitRadius = *radius
+	cfg.Extended = *extended
+
+	var study *casestudy.Study
+	var err error
+	if *dblpPath != "" {
+		study, err = loadDBLPStudy(cfg, *dblpPath, *seedAuthor, *trainFrom, *trainTo, *testYear)
+	} else {
+		study, err = casestudy.New(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, study); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	specific := *table1 || *fig2 || *fig3 != "" || *ablation || *dotDir != ""
+
+	if *table1 || !specific {
+		fmt.Println("Table I — trust subgraphs (paper: 2335/1163/17973, 811/881/5123, 604/435/1988)")
+		if err := study.WriteTableI(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *fig2 {
+		fmt.Println("Fig. 2 — subgraph topology")
+		fmt.Printf("%-22s %6s %7s %6s %8s %5s %8s %10s\n",
+			"Graph", "Nodes", "Edges", "Comps", "Largest", "Span", "SeedDeg", "AvgClust")
+		for _, st := range study.Fig2() {
+			fmt.Printf("%-22s %6d %7d %6d %8d %5d %8d %10.4f\n",
+				st.Name, st.Nodes, st.Edges, st.Components, st.LargestComp,
+				st.MaxSpan, st.SeedDegree, st.AvgClustering)
+		}
+		fmt.Println()
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range []string{"baseline", "double", "fewauthors"} {
+			sub, err := study.SubgraphByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dotDir, "fig2-"+name+".dot")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := casestudy.WriteFig2DOT(f, sub); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d nodes, %d edges)\n", path, sub.Graph.NumNodes(), sub.Graph.NumEdges())
+		}
+		fmt.Println()
+	}
+
+	panels := []string{"baseline", "double", "fewauthors"}
+	if *fig3 != "" {
+		panels = []string{*fig3}
+	}
+	if *fig3 != "" || !specific {
+		for i, name := range panels {
+			sub, err := study.SubgraphByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			label := map[string]string{
+				"baseline":   "Fig. 3(a) — baseline graph",
+				"double":     "Fig. 3(b) — double coauthorship",
+				"fewauthors": "Fig. 3(c) — number of authors",
+			}[name]
+			if label == "" {
+				label = name
+			}
+			if err := casestudy.WriteFig3(os.Stdout, label, study.Fig3(sub)); err != nil {
+				fatal(err)
+			}
+			if i < len(panels)-1 {
+				fmt.Println()
+			}
+		}
+	}
+
+	if *ablation {
+		fmt.Println("Ablation — double-coauthorship threshold (Community Node Degree @", *maxReps, "replicas)")
+		fmt.Printf("%10s %7s %7s %7s %9s\n", "threshold", "nodes", "pubs", "edges", "hit-rate%")
+		for _, p := range study.CoauthorshipThresholdSweep([]int{1, 2, 3, 4}) {
+			fmt.Printf("%10d %7d %7d %7d %9.2f\n",
+				p.Threshold, p.Stats.Nodes, p.Stats.Publications, p.Stats.Edges, p.HitRate)
+		}
+		fmt.Println()
+		fmt.Println("Ablation — number-of-authors cutoff (Community Node Degree @", *maxReps, "replicas)")
+		fmt.Printf("%10s %7s %7s %7s %9s\n", "cutoff", "nodes", "pubs", "edges", "hit-rate%")
+		for _, p := range study.AuthorCountThresholdSweep([]int{3, 4, 5, 6, 8, 10}) {
+			fmt.Printf("%10d %7d %7d %7d %9.2f\n",
+				p.Threshold, p.Stats.Nodes, p.Stats.Publications, p.Stats.Edges, p.HitRate)
+		}
+	}
+}
+
+// loadDBLPStudy parses a real DBLP XML export and derives the study from
+// the named ego author.
+func loadDBLPStudy(cfg casestudy.Config, path, author string, from, to, test int) (*casestudy.Study, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	parsed, err := coauthor.ParseDBLPXML(f)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := parsed.SeedByName(author)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "parsed %d publications (%d skipped), seed author %q = id %d\n",
+		parsed.Corpus.Len(), parsed.Skipped, author, seed)
+	return casestudy.NewFromCorpus(cfg, parsed.Corpus, seed, from, to, test)
+}
+
+// jsonReport is the machine-readable dump: Table I, Fig. 2, and all
+// Fig. 3 panels.
+type jsonReport struct {
+	TableI []coauthor.Stats       `json:"table1"`
+	Fig2   []casestudy.Fig2Stats  `json:"fig2"`
+	Fig3   map[string][]jsonCurve `json:"fig3"`
+}
+
+type jsonCurve struct {
+	Algorithm string    `json:"algorithm"`
+	HitRates  []float64 `json:"hitRates"`
+	StdDevs   []float64 `json:"stdDevs"`
+}
+
+func writeJSON(w io.Writer, study *casestudy.Study) error {
+	rep := jsonReport{
+		TableI: study.TableI(),
+		Fig2:   study.Fig2(),
+		Fig3:   make(map[string][]jsonCurve),
+	}
+	for _, name := range []string{"baseline", "double", "fewauthors"} {
+		sub, err := study.SubgraphByName(name)
+		if err != nil {
+			return err
+		}
+		for _, c := range study.Fig3(sub) {
+			jc := jsonCurve{Algorithm: c.Algorithm}
+			for _, p := range c.Points {
+				jc.HitRates = append(jc.HitRates, p.HitRate)
+				jc.StdDevs = append(jc.StdDevs, p.StdDev)
+			}
+			rep.Fig3[name] = append(rep.Fig3[name], jc)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scdn-casestudy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Command scdn-graph analyses the case study's coauthorship graphs:
+// summary statistics, degree histograms, centrality rankings, community
+// structure, and DOT export. It is the exploration companion to
+// scdn-casestudy.
+//
+// Usage:
+//
+//	scdn-graph                          # stats for all three subgraphs
+//	scdn-graph -graph baseline -top 20  # top-degree table
+//	scdn-graph -hist                    # degree histogram
+//	scdn-graph -communities             # label-propagation communities
+//	scdn-graph -dot baseline.dot        # DOT export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"scdn/internal/casestudy"
+	"scdn/internal/community"
+	"scdn/internal/graph"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 42, "corpus seed")
+		graphName = flag.String("graph", "", "restrict to one subgraph: baseline|double|fewauthors")
+		top       = flag.Int("top", 0, "print the top-N nodes by degree/betweenness/closeness")
+		hist      = flag.Bool("hist", false, "print the degree histogram")
+		comms     = flag.Bool("communities", false, "print community structure (label propagation)")
+		cuts      = flag.Bool("cutpoints", false, "print articulation points and bridges (overlay fragility)")
+		dotPath   = flag.String("dot", "", "write the subgraph as DOT to this path")
+	)
+	flag.Parse()
+
+	cfg := casestudy.DefaultConfig()
+	cfg.Seed = *seed
+	study, err := casestudy.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := []string{"baseline", "double", "fewauthors"}
+	if *graphName != "" {
+		names = []string{*graphName}
+	}
+	for _, name := range names {
+		sub, err := study.SubgraphByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		g := sub.Graph
+		comps := g.ConnectedComponents()
+		largest := 0
+		if len(comps) > 0 {
+			largest = len(comps[0])
+		}
+		fmt.Printf("== %s ==\n", sub.Name)
+		fmt.Printf("nodes=%d edges=%d density=%.5f avg-degree=%.2f\n",
+			g.NumNodes(), g.NumEdges(), g.Density(),
+			2*float64(g.NumEdges())/float64(max(1, g.NumNodes())))
+		fmt.Printf("components=%d largest=%d diameter=%d avg-clustering=%.4f\n",
+			len(comps), largest, g.Diameter(), g.AverageClustering())
+
+		if *hist {
+			printHistogram(g)
+		}
+		if *top > 0 {
+			printTop(g, *top)
+		}
+		if *comms {
+			printCommunities(g, *seed)
+		}
+		if *cuts {
+			aps := g.ArticulationPoints()
+			bridges := g.Bridges()
+			fmt.Printf("articulation points: %d (overlay partitions if any leaves)\n", len(aps))
+			if len(aps) > 0 && len(aps) <= 20 {
+				fmt.Printf("  %v\n", aps)
+			}
+			fmt.Printf("bridges: %d\n", len(bridges))
+		}
+		if *dotPath != "" && len(names) == 1 {
+			f, err := os.Create(*dotPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := casestudy.WriteFig2DOT(f, sub); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *dotPath)
+		}
+		fmt.Println()
+	}
+}
+
+func printHistogram(g *graph.Graph) {
+	h := g.DegreeHistogram()
+	degrees := make([]int, 0, len(h))
+	for d := range h {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	fmt.Println("degree histogram (degree: count):")
+	// Bucket to keep the output compact.
+	buckets := map[string]int{}
+	var order []string
+	bucketOf := func(d int) string {
+		switch {
+		case d <= 5:
+			return fmt.Sprintf("%d", d)
+		case d <= 20:
+			return fmt.Sprintf("%d-%d", d/5*5, d/5*5+4)
+		default:
+			return fmt.Sprintf("%d-%d", d/20*20, d/20*20+19)
+		}
+	}
+	for _, d := range degrees {
+		b := bucketOf(d)
+		if _, ok := buckets[b]; !ok {
+			order = append(order, b)
+		}
+		buckets[b] += h[d]
+	}
+	for _, b := range order {
+		fmt.Printf("  %8s: %d\n", b, buckets[b])
+	}
+}
+
+func printTop(g *graph.Graph, n int) {
+	type row struct {
+		node graph.NodeID
+		deg  int
+		bet  float64
+		clo  float64
+	}
+	bet := g.Betweenness()
+	clo := g.Closeness()
+	rows := make([]row, 0, g.NumNodes())
+	for _, u := range g.Nodes() {
+		rows = append(rows, row{u, g.Degree(u), bet[u], clo[u]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].deg != rows[j].deg {
+			return rows[i].deg > rows[j].deg
+		}
+		return rows[i].node < rows[j].node
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	fmt.Printf("top %d by degree:\n%8s %7s %14s %10s\n", n, "node", "degree", "betweenness", "closeness")
+	for _, r := range rows[:n] {
+		fmt.Printf("%8d %7d %14.1f %10.4f\n", r.node, r.deg, r.bet, r.clo)
+	}
+}
+
+func printCommunities(g *graph.Graph, seed int64) {
+	rng := newRand(seed)
+	p := community.LabelPropagation(g, rng, 100)
+	groups := p.Communities()
+	fmt.Printf("communities=%d modularity=%.4f sizes:", len(groups), community.Modularity(g, p))
+	for i, grp := range groups {
+		if i == 12 {
+			fmt.Printf(" … (+%d more)", len(groups)-i)
+			break
+		}
+		fmt.Printf(" %d", len(grp))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scdn-graph:", err)
+	os.Exit(1)
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

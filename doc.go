@@ -1,0 +1,37 @@
+// Package scdn is a Social Content Delivery Network for scientific
+// cooperation: a reproduction of Chard, Caton, Rana & Katz, "A Social
+// Content Delivery Network for Scientific Cooperation: Vision, Design,
+// and Architecture" (SC 2012 companion).
+//
+// An S-CDN turns a scientific collaboration's social network into a
+// content delivery network: researchers contribute storage folders that
+// act as CDN edge nodes, allocation servers catalogue datasets and
+// replicas, a social middleware authenticates users through the social
+// platform and keeps data inside the collaboration's trust boundary, and
+// replica placement is driven by social metrics — node degree, community
+// structure, clustering, and proven trust from prior coauthorship.
+//
+// The package exposes three layers:
+//
+//   - Community and Network: build a collaboration (researchers, ties,
+//     contributed storage) and run a fully simulated S-CDN over it —
+//     publishing datasets, placing replicas socially, serving accesses
+//     through third-party transfers over a wide-area network model, with
+//     churn, failures, re-replication, and the paper's Section V-E
+//     metrics.
+//
+//   - Placement: the paper's four replica-placement algorithms (Random,
+//     Node Degree, Community Node Degree, Clustering Coefficient) plus
+//     the Section V-D extensions (Betweenness, Closeness, Social Score,
+//     Greedy Cover), and the hit-rate evaluator of the Section VI case
+//     study.
+//
+//   - CaseStudy: the paper's evaluation — Table I trust subgraphs,
+//     Fig. 2 topology analysis, and the Fig. 3 replica-hit-rate panels —
+//     over a synthetic coauthorship network calibrated to the paper's
+//     DBLP extraction (see DESIGN.md for the substitution rationale).
+//
+// Start with NewCommunity and Community.Build, or RunCaseStudy for the
+// paper's experiments. The examples/ directory contains runnable
+// walk-throughs.
+package scdn

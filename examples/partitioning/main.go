@@ -1,0 +1,103 @@
+// Data partitioning: the second allocation stage of Section V-D. After
+// replica locations exist, which data segments go where? This example
+// compares the socially blind round-robin baseline, traditional
+// usage-based assignment, and the paper's socially informed partitioning
+// on a collaboration whose access patterns follow its community
+// structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scdn"
+)
+
+func main() {
+	study, err := scdn.NewStudy(scdn.StudyConfig{Seed: 42, Runs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	community, err := study.Community("fewauthors", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := scdn.DefaultOptions(42)
+	opts.Churn = false
+	net, err := community.Build(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate replica hosts: one placement run of the CDN's algorithm.
+	wl, err := scdn.GenerateSocialWorkload(net, scdn.WorkloadConfig{
+		Seed: 7, Datasets: 24, Requests: 4000,
+		Duration: 24 * 3600 * 1e9, SocialLocality: 0.85,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range wl.Datasets {
+		if err := net.Publish(d.Owner, d.ID, d.Bytes); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hosts, err := net.Replicate(wl.Datasets[0].ID, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidate replica hosts: %v\n\n", hosts)
+
+	// Usage derived from the workload's access schedule: who reads what.
+	// The "full" profile sees every access; the "sparse" profile sees
+	// only the first 5% — the realistic cold-start situation where the
+	// paper argues social structure should fill the gap.
+	full := scdn.SegmentUsage{}
+	sparse := scdn.SegmentUsage{}
+	record := func(u scdn.SegmentUsage, user scdn.ResearcherID, data scdn.DatasetID) {
+		if u[user] == nil {
+			u[user] = map[scdn.DatasetID]uint64{}
+		}
+		u[user][data]++
+	}
+	for i, r := range wl.Requests {
+		record(full, r.User, r.Data)
+		if i < len(wl.Requests)/20 {
+			record(sparse, r.User, r.Data)
+		}
+	}
+	var segments []scdn.PartitionSegment
+	for _, d := range wl.Datasets {
+		segments = append(segments, scdn.PartitionSegment{ID: d.ID, Bytes: d.Bytes})
+	}
+
+	evaluate := func(label string, planning scdn.SegmentUsage) {
+		fmt.Printf("%s\n%-14s %s\n", label, "method",
+			"locality vs. the FULL future workload (1.0 = served at the accessing node)")
+		for _, method := range []scdn.PartitionMethod{
+			scdn.PartitionRoundRobin, scdn.PartitionUsage, scdn.PartitionSocial,
+		} {
+			plan, err := net.PlanPartition(method, segments, planning, hosts, 2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Score the plan against the complete workload, not just the
+			// profile it was planned from.
+			scored, err := net.ScorePartition(plan.Assignment, full)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %.4f\n", method, scored)
+		}
+		fmt.Println()
+	}
+	evaluate("— planning with the FULL usage profile —", full)
+	evaluate("— planning with a SPARSE (5%) usage profile —", sparse)
+
+	fmt.Println("Findings: both informed methods clearly beat blind round-robin.")
+	fmt.Println("Usage-based assignment is the upper reference when access data")
+	fmt.Println("exists; socially informed partitioning gets most of the way")
+	fmt.Println("there from community structure and aggregate demand alone, and")
+	fmt.Println("the gap narrows as histories get sparser — the trade-off")
+	fmt.Println("Section V-D proposes to explore.")
+}

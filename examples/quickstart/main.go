@@ -1,0 +1,73 @@
+// Quickstart: build a small scientific collaboration, publish a dataset,
+// let the S-CDN place replicas socially, access it from across the
+// community, and print the metric report — the whole public API in one
+// file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"scdn"
+)
+
+func main() {
+	// A collaboration of six researchers at different sites: two tight
+	// groups (Chicago and Karlsruhe) bridged by one collaboration tie.
+	community := scdn.NewCommunity().
+		Add(scdn.Researcher{ID: 1, Name: "kyle", Site: 0, Institutional: true}).
+		Add(scdn.Researcher{ID: 2, Name: "dan", Site: 1}).
+		Add(scdn.Researcher{ID: 3, Name: "ian", Site: 2, Institutional: true}).
+		Add(scdn.Researcher{ID: 4, Name: "simon", Site: 8}).
+		Add(scdn.Researcher{ID: 5, Name: "omer", Site: 7}).
+		Add(scdn.Researcher{ID: 6, Name: "chris", Site: 9}).
+		Connect(1, 2, scdn.Coauthor, 4).
+		Connect(1, 3, scdn.Coauthor, 2).
+		Connect(2, 3, scdn.Coauthor, 1).
+		Connect(4, 5, scdn.Coauthor, 3).
+		Connect(5, 6, scdn.Coauthor, 1).
+		Connect(4, 6, scdn.Colleague, 1).
+		Connect(1, 4, scdn.ProjectPartner, 2) // the bridge
+
+	net, err := community.Build(scdn.DefaultOptions(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Kyle publishes a 1.4 GB derived MRI dataset; the CDN replicates it
+	// to two socially chosen hosts.
+	if err := net.Publish(1, "dti-fa-session-001", 1_400_000_000); err != nil {
+		log.Fatal(err)
+	}
+	hosts, err := net.Replicate("dti-fa-session-001", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica hosts chosen by %q: %v\n", scdn.DefaultOptions(42).Placement, hosts)
+
+	// Simon (in Karlsruhe) needs the data.
+	net.Request(4, "dti-fa-session-001", func(r scdn.AccessResult) {
+		fmt.Printf("simon's access: %s from node %d in %v (%.0f Mbps)\n",
+			r.Outcome, r.Source, r.Elapsed.Round(time.Millisecond), r.ThroughputMbps)
+	})
+
+	// Drive the simulation for a virtual day.
+	net.Run(24 * time.Hour)
+
+	reps, _ := net.Replicas("dti-fa-session-001")
+	fmt.Printf("replica set after a day: %v\n", reps)
+	fmt.Printf("trust(kyle, simon) after the exchange: %.2f\n\n", net.TrustScore(1, 4))
+
+	if err := net.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// And the paper's headline experiment in one call (reduced run count
+	// to keep the quickstart fast — the benchmarks use the full 100).
+	fmt.Println("\n— Section VI case study (10 runs per point) —")
+	if err := scdn.RunCaseStudy(os.Stdout, 42, 10); err != nil {
+		log.Fatal(err)
+	}
+}

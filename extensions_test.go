@@ -1,0 +1,290 @@
+package scdn
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildStrategies(t *testing.T) {
+	for _, strategy := range []string{"", "social", "trust", "availability"} {
+		c := NewCommunity().
+			Add(Researcher{ID: 1, Site: 0}).
+			Add(Researcher{ID: 2, Site: 1}).
+			Connect(1, 2, Coauthor, 1)
+		opts := DefaultOptions(1)
+		opts.Strategy = strategy
+		opts.Churn = false
+		if _, err := c.Build(opts); err != nil {
+			t.Fatalf("strategy %q: %v", strategy, err)
+		}
+	}
+	c := NewCommunity().Add(Researcher{ID: 1, Site: 0})
+	opts := DefaultOptions(1)
+	opts.Strategy = "psychic"
+	if _, err := c.Build(opts); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestTrustStrategyEndToEnd(t *testing.T) {
+	n := buildStrategyNetwork(t, "trust")
+	if err := n.Publish(1, "d", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := n.Replicate("d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	n.Run(time.Hour)
+}
+
+func TestAvailabilityStrategyEndToEnd(t *testing.T) {
+	n := buildStrategyNetwork(t, "availability")
+	if err := n.Publish(1, "d", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Replicate("d", 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(time.Hour)
+}
+
+func buildStrategyNetwork(t *testing.T, strategy string) *Network {
+	t.Helper()
+	c := NewCommunity()
+	for i := ResearcherID(1); i <= 6; i++ {
+		c.Add(Researcher{ID: i, Site: int(i - 1), Institutional: i%2 == 0})
+	}
+	c.Connect(1, 2, Coauthor, 2).
+		Connect(1, 3, Coauthor, 1).
+		Connect(2, 4, Coauthor, 1).
+		Connect(3, 5, Coauthor, 1).
+		Connect(4, 6, Coauthor, 1)
+	opts := DefaultOptions(5)
+	opts.Strategy = strategy
+	opts.MigrationUptimeFloor = 0.5
+	n, err := c.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPlanPartitionMethods(t *testing.T) {
+	n := buildNetwork(t)
+	segments := []PartitionSegment{
+		{ID: "s1", Bytes: 100}, {ID: "s2", Bytes: 100}, {ID: "s3", Bytes: 100},
+	}
+	usage := SegmentUsage{
+		1: {"s1": 10},
+		5: {"s2": 10},
+	}
+	hosts := []ResearcherID{2, 5}
+	for _, method := range []PartitionMethod{PartitionRoundRobin, PartitionUsage, PartitionSocial} {
+		plan, err := n.PlanPartition(method, segments, usage, hosts, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(plan.Assignment) != 3 {
+			t.Fatalf("%s assigned %d segments", method, len(plan.Assignment))
+		}
+		if plan.Locality < 0 || plan.Locality > 1 {
+			t.Fatalf("%s locality = %v", method, plan.Locality)
+		}
+	}
+	// Usage-based should co-locate s1 near researcher 1 (host 2 is 1's
+	// neighbour; host 5 is three hops away).
+	plan, err := n.PlanPartition(PartitionUsage, segments, usage, hosts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignment["s1"][0] != 2 {
+		t.Fatalf("usage plan put s1 on %v, want neighbour 2", plan.Assignment["s1"])
+	}
+	if _, err := n.PlanPartition("bogus", segments, usage, hosts, 1); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+	if _, err := n.PlanPartition(PartitionUsage, nil, usage, hosts, 1); err == nil {
+		t.Fatal("empty segments accepted")
+	}
+}
+
+func TestScorePartition(t *testing.T) {
+	n := buildNetwork(t)
+	usage := SegmentUsage{1: {"s": 5}}
+	perfect := map[DatasetID][]ResearcherID{"s": {1}}
+	score, err := n.ScorePartition(perfect, usage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 1 {
+		t.Fatalf("perfect score = %v", score)
+	}
+	if _, err := n.ScorePartition(nil, usage); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+}
+
+func TestMigrationViaPublicAPI(t *testing.T) {
+	c := NewCommunity()
+	for i := ResearcherID(1); i <= 8; i++ {
+		c.Add(Researcher{ID: i, Site: int(i - 1), Institutional: i <= 2})
+	}
+	for i := ResearcherID(2); i <= 8; i++ {
+		c.Connect(1, i, Coauthor, 1)
+	}
+	opts := DefaultOptions(21)
+	opts.Churn = true
+	opts.MigrationUptimeFloor = 0.9
+	n, err := c.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Publish(3, "d", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Replicate("d", 3); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(48 * time.Hour)
+	cdn, _ := n.Metrics()
+	// With churny hosts below the floor, migrations should occur; the
+	// replica set must always retain the origin.
+	reps, err := n.Replicas("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOrigin := false
+	for _, r := range reps {
+		if r == 3 {
+			foundOrigin = true
+		}
+	}
+	if !foundOrigin {
+		t.Fatalf("origin missing from replica set %v", reps)
+	}
+	t.Logf("migrations over 48h: %d, final replica set %v", cdn.Migrations.Value(), reps)
+}
+
+func TestNewStudyFromDBLP(t *testing.T) {
+	const xml = `<dblp>
+	<article><author>A</author><author>B</author><year>2009</year></article>
+	<article><author>A</author><author>B</author><year>2010</year></article>
+	<article><author>B</author><author>C</author><year>2010</year></article>
+	<article><author>A</author><author>C</author><year>2011</year></article>
+	</dblp>`
+	s, err := NewStudyFromDBLP(strings.NewReader(xml), "A", 2009, 2010, 2011,
+		StudyConfig{Seed: 1, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.TableI()
+	if rows[0].Nodes != 3 {
+		t.Fatalf("baseline nodes = %d, want 3", rows[0].Nodes)
+	}
+	// A-B coauthored twice → only pair surviving double pruning.
+	if rows[1].Nodes != 2 {
+		t.Fatalf("double nodes = %d, want 2", rows[1].Nodes)
+	}
+	curves, err := s.Fig3("baseline")
+	if err != nil || len(curves) != 4 {
+		t.Fatalf("fig3 on real data: %d curves, %v", len(curves), err)
+	}
+	if _, err := NewStudyFromDBLP(strings.NewReader(xml), "Nobody", 2009, 2010, 2011, StudyConfig{}); err == nil {
+		t.Fatal("unknown seed author accepted")
+	}
+	if _, err := NewStudyFromDBLP(strings.NewReader("<dblp><article>"), "A", 2009, 2010, 2011, StudyConfig{}); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+}
+
+func TestUpdateAndStalenessPublicAPI(t *testing.T) {
+	n := buildNetwork(t)
+	if err := n.Publish(1, "d", 5e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Replicate("d", 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(time.Hour)
+	if n.Stale("d") {
+		t.Fatal("fresh replicas stale")
+	}
+	if err := n.Update("d"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Stale("d") {
+		t.Fatal("update did not mark replicas stale")
+	}
+	n.Run(12 * time.Hour)
+	if n.Stale("d") {
+		t.Fatalf("anti-entropy did not converge: %+v", n.Staleness())
+	}
+	rep := n.Staleness()
+	if rep.Propagations == 0 || rep.Ratio != 0 {
+		t.Fatalf("staleness report = %+v", rep)
+	}
+	if err := n.Update("ghost"); err == nil {
+		t.Fatal("unknown dataset updated")
+	}
+}
+
+func TestProvenancePublicAPI(t *testing.T) {
+	n := buildNetwork(t)
+	if err := n.Publish(1, "raw", 100e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PublishDerived(2, "fa", 1400e6, "raw", "fa-calculation"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Replicate("fa", 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2 * time.Hour)
+	n.Request(6, "fa", nil)
+	n.Run(6 * time.Hour)
+	n.Update("fa")
+
+	chain, err := n.Lineage("fa")
+	if err != nil || len(chain) != 2 || chain[0] != "raw" || chain[1] != "fa" {
+		t.Fatalf("lineage = %v, %v", chain, err)
+	}
+	if desc := n.Descendants("raw"); len(desc) != 1 || desc[0] != "fa" {
+		t.Fatalf("descendants = %v", desc)
+	}
+	custody := n.Custody("fa")
+	if len(custody) < 2 { // at least the two replica holders
+		t.Fatalf("custody = %v", custody)
+	}
+	hist := n.History("fa")
+	var sawCreated, sawDerived, sawAccessed, sawUpdated bool
+	for _, e := range hist {
+		switch e.Kind {
+		case ProvCreated:
+			sawCreated = true
+		case ProvDerived:
+			sawDerived = true
+		case ProvAccessed:
+			sawAccessed = true
+		case ProvUpdated:
+			sawUpdated = true
+		}
+	}
+	if !sawCreated || !sawDerived || !sawAccessed || !sawUpdated {
+		t.Fatalf("history missing kinds: %+v", hist)
+	}
+	if acts := n.Activity(6); len(acts) == 0 {
+		t.Fatal("accessor has no recorded activity")
+	}
+	var sb strings.Builder
+	if err := n.WriteAudit(&sb, "fa"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "derived") {
+		t.Fatalf("audit trail malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module scdn
+
+go 1.22

@@ -1,0 +1,232 @@
+// Package availability models node churn for user-contributed storage:
+// diurnal online/offline traces, uptime fractions, My3-style availability
+// overlap graphs, and a greedy low-cost cover used to pick replica sets
+// whose union availability spans the day (the paper's Section V-D
+// "availability graphs").
+package availability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Trace is a node's availability pattern over a 24-hour cycle, quantized
+// into fixed-width slots. Slot i covers [i*SlotWidth, (i+1)*SlotWidth).
+type Trace struct {
+	// Online[i] reports whether the node is up during slot i.
+	Online []bool
+	// SlotWidth is the duration of one slot.
+	SlotWidth time.Duration
+}
+
+// NumSlots returns the number of slots in the cycle.
+func (t *Trace) NumSlots() int { return len(t.Online) }
+
+// Uptime returns the fraction of slots the node is online.
+func (t *Trace) Uptime() float64 {
+	if len(t.Online) == 0 {
+		return 0
+	}
+	up := 0
+	for _, on := range t.Online {
+		if on {
+			up++
+		}
+	}
+	return float64(up) / float64(len(t.Online))
+}
+
+// At reports whether the node is online at the given offset into the
+// diurnal cycle (offsets beyond one cycle wrap).
+func (t *Trace) At(offset time.Duration) bool {
+	if len(t.Online) == 0 {
+		return false
+	}
+	cycle := t.SlotWidth * time.Duration(len(t.Online))
+	if cycle <= 0 {
+		return false
+	}
+	offset %= cycle
+	if offset < 0 {
+		offset += cycle
+	}
+	slot := int(offset / t.SlotWidth)
+	return t.Online[slot]
+}
+
+// Overlap returns the fraction of slots during which both traces are
+// online. Traces must have identical geometry.
+func (t *Trace) Overlap(o *Trace) (float64, error) {
+	if t.NumSlots() != o.NumSlots() || t.SlotWidth != o.SlotWidth {
+		return 0, fmt.Errorf("availability: mismatched trace geometry (%d/%v vs %d/%v)",
+			t.NumSlots(), t.SlotWidth, o.NumSlots(), o.SlotWidth)
+	}
+	if t.NumSlots() == 0 {
+		return 0, nil
+	}
+	both := 0
+	for i := range t.Online {
+		if t.Online[i] && o.Online[i] {
+			both++
+		}
+	}
+	return float64(both) / float64(len(t.Online)), nil
+}
+
+// DiurnalConfig parameterizes synthetic trace generation: a researcher's
+// machine is mostly on during local working hours, with a base probability
+// otherwise, plus random flaps.
+type DiurnalConfig struct {
+	Slots     int           // slots per day (default 48 = 30-minute slots)
+	SlotWidth time.Duration // default 30m
+	// WorkStart/WorkEnd are local working hours (0-24).
+	WorkStart, WorkEnd int
+	// PWork and POff are the online probabilities inside and outside
+	// working hours.
+	PWork, POff float64
+	// TZOffset shifts the pattern by whole hours (site's timezone).
+	TZOffset int
+}
+
+// DefaultDiurnal returns a 48-slot, 9-to-18 working-hours configuration
+// with 95% working-hour and 40% off-hour availability.
+func DefaultDiurnal(tz int) DiurnalConfig {
+	return DiurnalConfig{
+		Slots: 48, SlotWidth: 30 * time.Minute,
+		WorkStart: 9, WorkEnd: 18,
+		PWork: 0.95, POff: 0.40,
+		TZOffset: tz,
+	}
+}
+
+// Generate builds a random trace from the configuration.
+func Generate(cfg DiurnalConfig, rng *rand.Rand) *Trace {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 48
+	}
+	if cfg.SlotWidth <= 0 {
+		cfg.SlotWidth = 24 * time.Hour / time.Duration(cfg.Slots)
+	}
+	tr := &Trace{Online: make([]bool, cfg.Slots), SlotWidth: cfg.SlotWidth}
+	for i := range tr.Online {
+		hour := (float64(i)*cfg.SlotWidth.Hours() - float64(cfg.TZOffset))
+		hour = math.Mod(math.Mod(hour, 24)+24, 24)
+		p := cfg.POff
+		if hour >= float64(cfg.WorkStart) && hour < float64(cfg.WorkEnd) {
+			p = cfg.PWork
+		}
+		tr.Online[i] = rng.Float64() < p
+	}
+	return tr
+}
+
+// AlwaysOn returns a trace that is online in every slot (institutional
+// servers).
+func AlwaysOn(slots int, width time.Duration) *Trace {
+	tr := &Trace{Online: make([]bool, slots), SlotWidth: width}
+	for i := range tr.Online {
+		tr.Online[i] = true
+	}
+	return tr
+}
+
+// NodeTrace pairs a node identifier with its trace.
+type NodeTrace struct {
+	Node  int64
+	Trace *Trace
+}
+
+// UnionUptime returns the fraction of slots during which at least one of
+// the given traces is online. All traces must share geometry; an empty set
+// yields 0.
+func UnionUptime(traces []*Trace) (float64, error) {
+	if len(traces) == 0 {
+		return 0, nil
+	}
+	n := traces[0].NumSlots()
+	for _, t := range traces[1:] {
+		if t.NumSlots() != n || t.SlotWidth != traces[0].SlotWidth {
+			return 0, fmt.Errorf("availability: mismatched trace geometry in union")
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	up := 0
+	for i := 0; i < n; i++ {
+		for _, t := range traces {
+			if t.Online[i] {
+				up++
+				break
+			}
+		}
+	}
+	return float64(up) / float64(n), nil
+}
+
+// GreedyCover picks up to k nodes whose union uptime is maximal, greedily:
+// each step adds the node covering the most still-uncovered slots,
+// breaking ties by higher individual uptime then lower node ID. It returns
+// the chosen nodes and the union uptime achieved. This is the My3-style
+// replica-set selection of Section V-D.
+func GreedyCover(nodes []NodeTrace, k int) ([]int64, float64, error) {
+	if len(nodes) == 0 || k <= 0 {
+		return nil, 0, nil
+	}
+	n := nodes[0].Trace.NumSlots()
+	for _, nt := range nodes[1:] {
+		if nt.Trace.NumSlots() != n || nt.Trace.SlotWidth != nodes[0].Trace.SlotWidth {
+			return nil, 0, fmt.Errorf("availability: mismatched trace geometry in cover")
+		}
+	}
+	sorted := make([]NodeTrace, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	covered := make([]bool, n)
+	taken := make(map[int64]struct{})
+	var chosen []int64
+	for len(chosen) < k && len(chosen) < len(sorted) {
+		bestIdx, bestGain, bestUptime := -1, -1, -1.0
+		for i, nt := range sorted {
+			if _, dup := taken[nt.Node]; dup {
+				continue
+			}
+			gain := 0
+			for s := 0; s < n; s++ {
+				if !covered[s] && nt.Trace.Online[s] {
+					gain++
+				}
+			}
+			up := nt.Trace.Uptime()
+			if gain > bestGain || (gain == bestGain && up > bestUptime) {
+				bestIdx, bestGain, bestUptime = i, gain, up
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		nt := sorted[bestIdx]
+		taken[nt.Node] = struct{}{}
+		chosen = append(chosen, nt.Node)
+		for s := 0; s < n; s++ {
+			if nt.Trace.Online[s] {
+				covered[s] = true
+			}
+		}
+	}
+	up := 0
+	for _, c := range covered {
+		if c {
+			up++
+		}
+	}
+	frac := 0.0
+	if n > 0 {
+		frac = float64(up) / float64(n)
+	}
+	return chosen, frac, nil
+}

@@ -1,0 +1,209 @@
+package availability
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func trace(bits ...int) *Trace {
+	tr := &Trace{Online: make([]bool, len(bits)), SlotWidth: time.Hour}
+	for i, b := range bits {
+		tr.Online[i] = b != 0
+	}
+	return tr
+}
+
+func TestUptime(t *testing.T) {
+	if u := trace(1, 0, 1, 0).Uptime(); u != 0.5 {
+		t.Fatalf("uptime = %v, want 0.5", u)
+	}
+	if u := (&Trace{}).Uptime(); u != 0 {
+		t.Fatalf("empty uptime = %v", u)
+	}
+	if u := AlwaysOn(10, time.Hour).Uptime(); u != 1 {
+		t.Fatalf("always-on uptime = %v", u)
+	}
+}
+
+func TestAtWraps(t *testing.T) {
+	tr := trace(1, 0, 0, 1) // 4-hour cycle
+	if !tr.At(0) || tr.At(time.Hour) || !tr.At(3*time.Hour) {
+		t.Fatal("At basic lookup wrong")
+	}
+	if !tr.At(4 * time.Hour) { // wraps to slot 0
+		t.Fatal("At should wrap")
+	}
+	if !tr.At(-time.Hour) { // negative wraps to slot 3
+		t.Fatal("At should wrap negatives")
+	}
+	if (&Trace{}).At(time.Hour) {
+		t.Fatal("empty trace should be offline")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := trace(1, 1, 0, 0)
+	b := trace(1, 0, 1, 0)
+	got, err := a.Overlap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.25 {
+		t.Fatalf("overlap = %v, want 0.25", got)
+	}
+	if _, err := a.Overlap(trace(1, 0)); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	}
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultDiurnal(0)
+	cfg.PWork, cfg.POff = 1.0, 0.0 // deterministic
+	tr := Generate(cfg, rng)
+	if tr.NumSlots() != 48 {
+		t.Fatalf("slots = %d", tr.NumSlots())
+	}
+	// Slot at 10:00 (slot 20) must be online; slot at 03:00 (slot 6) offline.
+	if !tr.Online[20] {
+		t.Fatal("working-hour slot offline")
+	}
+	if tr.Online[6] {
+		t.Fatal("night slot online")
+	}
+	// Uptime should be (18-9)/24 = 0.375.
+	if u := tr.Uptime(); u < 0.37 || u > 0.38 {
+		t.Fatalf("uptime = %v, want 0.375", u)
+	}
+}
+
+func TestGenerateTimezoneShift(t *testing.T) {
+	cfg := DefaultDiurnal(0)
+	cfg.PWork, cfg.POff = 1.0, 0.0
+	utc := Generate(cfg, rand.New(rand.NewSource(1)))
+	cfg.TZOffset = 9 // Tokyo: local 09:00 occurs at 00:00 UTC
+	tokyo := Generate(cfg, rand.New(rand.NewSource(1)))
+	// Tokyo trace should be utc trace shifted by 9h = 18 slots.
+	for i := range utc.Online {
+		j := (i + 18) % 48
+		if utc.Online[i] != tokyo.Online[j] {
+			t.Fatalf("timezone shift wrong at slot %d", i)
+		}
+	}
+}
+
+func TestUnionUptime(t *testing.T) {
+	u, err := UnionUptime([]*Trace{trace(1, 0, 0, 0), trace(0, 1, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0.5 {
+		t.Fatalf("union = %v, want 0.5", u)
+	}
+	if u, _ := UnionUptime(nil); u != 0 {
+		t.Fatal("empty union should be 0")
+	}
+	if _, err := UnionUptime([]*Trace{trace(1), trace(1, 0)}); err == nil {
+		t.Fatal("mismatched union accepted")
+	}
+}
+
+func TestGreedyCoverComplementary(t *testing.T) {
+	nodes := []NodeTrace{
+		{1, trace(1, 1, 0, 0)},
+		{2, trace(0, 0, 1, 1)},
+		{3, trace(1, 1, 1, 0)}, // best single
+		{4, trace(1, 0, 0, 0)},
+	}
+	chosen, frac, err := GreedyCover(nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1.0 {
+		t.Fatalf("cover fraction = %v, want 1.0", frac)
+	}
+	if chosen[0] != 3 || chosen[1] != 2 {
+		t.Fatalf("chosen = %v, want [3 2]", chosen)
+	}
+}
+
+func TestGreedyCoverTieBreaks(t *testing.T) {
+	// Both cover the same new slots; higher uptime wins... here equal
+	// uptime too, so lower ID (1) wins via sorted order.
+	nodes := []NodeTrace{
+		{2, trace(1, 0)},
+		{1, trace(1, 0)},
+	}
+	chosen, _, err := GreedyCover(nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen[0] != 1 {
+		t.Fatalf("chosen = %v, want lower ID first", chosen)
+	}
+}
+
+func TestGreedyCoverEmptyAndZeroK(t *testing.T) {
+	if c, f, _ := GreedyCover(nil, 3); c != nil || f != 0 {
+		t.Fatal("empty input should yield empty cover")
+	}
+	if c, _, _ := GreedyCover([]NodeTrace{{1, trace(1)}}, 0); c != nil {
+		t.Fatal("k=0 should yield empty cover")
+	}
+}
+
+func TestGreedyCoverMismatch(t *testing.T) {
+	if _, _, err := GreedyCover([]NodeTrace{{1, trace(1)}, {2, trace(1, 0)}}, 2); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	}
+}
+
+// Property: union uptime of a greedy cover never decreases as k grows.
+func TestPropertyGreedyCoverMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var nodes []NodeTrace
+		for i := 0; i < 10; i++ {
+			tr := &Trace{Online: make([]bool, 24), SlotWidth: time.Hour}
+			for s := range tr.Online {
+				tr.Online[s] = rng.Float64() < 0.4
+			}
+			nodes = append(nodes, NodeTrace{int64(i), tr})
+		}
+		prev := 0.0
+		for k := 1; k <= 5; k++ {
+			_, frac, err := GreedyCover(nodes, k)
+			if err != nil || frac < prev-1e-12 {
+				return false
+			}
+			prev = frac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union uptime >= max individual uptime.
+func TestPropertyUnionAtLeastMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var traces []*Trace
+		maxUp := 0.0
+		for i := 0; i < 5; i++ {
+			tr := Generate(DefaultDiurnal(i*3-6), rng)
+			traces = append(traces, tr)
+			if u := tr.Uptime(); u > maxUp {
+				maxUp = u
+			}
+		}
+		u, err := UnionUptime(traces)
+		return err == nil && u >= maxUp-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

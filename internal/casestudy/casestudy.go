@@ -1,0 +1,286 @@
+// Package casestudy drives the paper's Section VI evaluation: it builds
+// the coauthorship corpus (synthetic, calibrated to the paper's DBLP
+// extraction), derives the three trust subgraphs (Table I), analyses their
+// topology (Fig. 2), and measures replica hit rates for every placement
+// algorithm and replica count (Fig. 3).
+package casestudy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"scdn/internal/coauthor"
+	"scdn/internal/graph"
+	"scdn/internal/placement"
+)
+
+// Config parameterizes a case-study run.
+type Config struct {
+	// Seed drives corpus generation and placement randomness.
+	Seed int64
+	// Hops is the ego-network radius (paper: 3).
+	Hops int
+	// MaxReplicas is the largest replica count evaluated (paper: 10).
+	MaxReplicas int
+	// Runs is the number of placements averaged per point (paper: 100).
+	Runs int
+	// HitRadius is the hit distance in hops (paper: 1).
+	HitRadius int
+	// Extended additionally evaluates the non-paper algorithms.
+	Extended bool
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Seed: 42, Hops: 3, MaxReplicas: 10, Runs: 100, HitRadius: 1}
+}
+
+// Study holds everything derived from one corpus: the three trust
+// subgraphs and the test events.
+type Study struct {
+	Config   Config
+	Synth    *coauthor.SynthResult
+	Baseline *coauthor.Subgraph
+	Double   *coauthor.Subgraph
+	Few      *coauthor.Subgraph
+	// TestEvents are the author lists of test-year publications.
+	TestEvents []placement.Event
+}
+
+// New generates the calibrated synthetic corpus and derives the study
+// inputs with the paper's year split (train 2009–2010, test 2011).
+func New(cfg Config) (*Study, error) {
+	scfg := coauthor.DefaultSynthConfig(cfg.Seed)
+	synth := coauthor.GenerateDBLP(scfg)
+	s, err := NewFromCorpus(cfg, synth.Corpus, synth.Seed,
+		scfg.TrainFrom, scfg.TrainTo, scfg.TestYear)
+	if err != nil {
+		return nil, err
+	}
+	s.Synth = synth
+	return s, nil
+}
+
+// NewFromCorpus derives the study from an arbitrary corpus — e.g. a real
+// DBLP extraction parsed with coauthor.ParseDBLPXML — using the given ego
+// seed author and year split. The Synth field stays nil.
+func NewFromCorpus(cfg Config, corpus *coauthor.Corpus, seed coauthor.AuthorID,
+	trainFrom, trainTo, testYear int) (*Study, error) {
+	if cfg.Hops <= 0 {
+		cfg.Hops = 3
+	}
+	if corpus == nil || corpus.Len() == 0 {
+		return nil, fmt.Errorf("casestudy: empty corpus")
+	}
+	if trainFrom > trainTo {
+		return nil, fmt.Errorf("casestudy: training window %d..%d inverted", trainFrom, trainTo)
+	}
+	train := corpus.YearRange(trainFrom, trainTo)
+	base, double, few, err := coauthor.TrustGraphs(train, seed, cfg.Hops)
+	if err != nil {
+		return nil, fmt.Errorf("casestudy: %w", err)
+	}
+	test := corpus.YearRange(testYear, testYear)
+	events := make([]placement.Event, 0, test.Len())
+	for _, p := range test.Publications {
+		events = append(events, placement.Event(p.Authors))
+	}
+	return &Study{
+		Config:     cfg,
+		Baseline:   base,
+		Double:     double,
+		Few:        few,
+		TestEvents: events,
+	}, nil
+}
+
+// Subgraphs returns the three trust subgraphs in Table I order.
+func (s *Study) Subgraphs() []*coauthor.Subgraph {
+	return []*coauthor.Subgraph{s.Baseline, s.Double, s.Few}
+}
+
+// SubgraphByName returns baseline, double, or fewauthors by key.
+func (s *Study) SubgraphByName(name string) (*coauthor.Subgraph, error) {
+	switch name {
+	case "baseline":
+		return s.Baseline, nil
+	case "double":
+		return s.Double, nil
+	case "fewauthors", "few":
+		return s.Few, nil
+	}
+	return nil, fmt.Errorf("casestudy: unknown subgraph %q (want baseline|double|fewauthors)", name)
+}
+
+// TableI returns the Table I rows for the three subgraphs.
+func (s *Study) TableI() []coauthor.Stats {
+	out := make([]coauthor.Stats, 0, 3)
+	for _, sub := range s.Subgraphs() {
+		out = append(out, sub.Stats())
+	}
+	return out
+}
+
+// WriteTableI prints Table I in the paper's layout.
+func (s *Study) WriteTableI(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-22s %8s %14s %8s\n", "Graph", "Nodes", "Publications", "Edges"); err != nil {
+		return err
+	}
+	for _, row := range s.TableI() {
+		if _, err := fmt.Fprintf(w, "%-22s %8d %14d %8d\n",
+			row.Name, row.Nodes, row.Publications, row.Edges); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig2Stats summarizes one subgraph's topology: the properties the paper
+// reads off Fig. 2 (span, islands, seed attachment).
+type Fig2Stats struct {
+	Name          string
+	Nodes, Edges  int
+	Components    int
+	LargestComp   int
+	MaxSpan       int
+	SeedDegree    int
+	AvgClustering float64
+}
+
+// Fig2 computes topology statistics for each subgraph.
+func (s *Study) Fig2() []Fig2Stats {
+	out := make([]Fig2Stats, 0, 3)
+	for _, sub := range s.Subgraphs() {
+		comps := sub.Graph.ConnectedComponents()
+		largest := 0
+		if len(comps) > 0 {
+			largest = len(comps[0])
+		}
+		out = append(out, Fig2Stats{
+			Name:          sub.Name,
+			Nodes:         sub.Graph.NumNodes(),
+			Edges:         sub.Graph.NumEdges(),
+			Components:    len(comps),
+			LargestComp:   largest,
+			MaxSpan:       sub.MaxSpan(),
+			SeedDegree:    sub.Graph.Degree(sub.Seed),
+			AvgClustering: sub.Graph.AverageClustering(),
+		})
+	}
+	return out
+}
+
+// WriteFig2DOT writes the subgraph in DOT form with the seed highlighted,
+// as in the paper's Fig. 2 rendering.
+func WriteFig2DOT(w io.Writer, sub *coauthor.Subgraph) error {
+	return sub.Graph.WriteDOT(w, graph.DOTOptions{
+		Name:         "fig2",
+		Highlight:    sub.Seed,
+		HasHighlight: sub.Graph.HasNode(sub.Seed),
+	})
+}
+
+// Curve is one algorithm's hit-rate series on one subgraph.
+type Curve struct {
+	Algorithm string
+	Points    []placement.Result
+}
+
+// Fig3 evaluates every algorithm on the named subgraph for replica counts
+// 1..MaxReplicas, producing the curves of one Fig. 3 panel.
+func (s *Study) Fig3(sub *coauthor.Subgraph) []Curve {
+	algs := placement.PaperAlgorithms()
+	if s.Config.Extended {
+		algs = append(algs, placement.ExtendedAlgorithms()...)
+	}
+	curves := make([]Curve, 0, len(algs))
+	for i, alg := range algs {
+		cfg := placement.EvalConfig{
+			Runs:      s.Config.Runs,
+			HitRadius: s.Config.HitRadius,
+			// Per-algorithm seed offset keeps runs independent while the
+			// study as a whole stays reproducible.
+			Seed: s.Config.Seed + int64(i+1)*1e9,
+		}
+		curves = append(curves, Curve{
+			Algorithm: alg.Name(),
+			Points:    placement.Series(sub.Graph, s.TestEvents, alg, s.Config.MaxReplicas, cfg),
+		})
+	}
+	return curves
+}
+
+// WriteFig3 prints a Fig. 3 panel as aligned columns: one row per replica
+// count, one column per algorithm.
+func WriteFig3(w io.Writer, name string, curves []Curve) error {
+	if _, err := fmt.Fprintf(w, "Replica hit rate (%%) — %s\n", name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-9s", "Replicas"); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		if _, err := fmt.Fprintf(w, " %22s", c.Algorithm); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if len(curves) == 0 {
+		return nil
+	}
+	for i := range curves[0].Points {
+		if _, err := fmt.Fprintf(w, "%-9d", curves[0].Points[i].Replicas); err != nil {
+			return err
+		}
+		for _, c := range curves {
+			if _, err := fmt.Fprintf(w, " %22.2f", c.Points[i].HitRate); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AblationPoint is one (threshold, hit-rate) measurement of the
+// trust-threshold sweeps called out in DESIGN.md.
+type AblationPoint struct {
+	Threshold int
+	Stats     coauthor.Stats
+	HitRate   float64
+}
+
+// CoauthorshipThresholdSweep varies the double-coauthorship minimum weight
+// and reports the Community Node Degree hit rate at MaxReplicas replicas.
+func (s *Study) CoauthorshipThresholdSweep(thresholds []int) []AblationPoint {
+	sort.Ints(thresholds)
+	out := make([]AblationPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		sub := coauthor.DoubleCoauthorship(s.Baseline, th)
+		res := placement.Evaluate(sub.Graph, s.TestEvents, placement.CommunityNodeDegree{},
+			placement.EvalConfig{Replicas: s.Config.MaxReplicas, Runs: s.Config.Runs,
+				HitRadius: s.Config.HitRadius, Seed: s.Config.Seed})
+		out = append(out, AblationPoint{Threshold: th, Stats: sub.Stats(), HitRate: res.HitRate})
+	}
+	return out
+}
+
+// AuthorCountThresholdSweep varies the number-of-authors cutoff and
+// reports the Community Node Degree hit rate at MaxReplicas replicas.
+func (s *Study) AuthorCountThresholdSweep(cutoffs []int) []AblationPoint {
+	sort.Ints(cutoffs)
+	out := make([]AblationPoint, 0, len(cutoffs))
+	for _, c := range cutoffs {
+		sub := coauthor.FewAuthors(s.Baseline, c)
+		res := placement.Evaluate(sub.Graph, s.TestEvents, placement.CommunityNodeDegree{},
+			placement.EvalConfig{Replicas: s.Config.MaxReplicas, Runs: s.Config.Runs,
+				HitRadius: s.Config.HitRadius, Seed: s.Config.Seed})
+		out = append(out, AblationPoint{Threshold: c, Stats: sub.Stats(), HitRate: res.HitRate})
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+
+	"scdn/internal/coauthor"
+)
+
+// lightConfig keeps unit tests fast; the full 100-run config is exercised
+// by the benchmarks and cmd/scdn-casestudy.
+func lightConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Runs = 10
+	return cfg
+}
+
+func newStudy(t testing.TB) *Study {
+	t.Helper()
+	s, err := New(lightConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTableIOrderAndShape(t *testing.T) {
+	s := newStudy(t)
+	rows := s.TableI()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Name != "baseline" || rows[1].Name != "double-coauthorship" || rows[2].Name != "number-of-authors" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	// Paper's monotone structure: each pruning shrinks the graph.
+	if !(rows[0].Nodes > rows[1].Nodes && rows[1].Nodes > rows[2].Nodes) {
+		t.Errorf("node counts not strictly decreasing: %d, %d, %d",
+			rows[0].Nodes, rows[1].Nodes, rows[2].Nodes)
+	}
+	if !(rows[0].Edges > rows[1].Edges && rows[1].Edges > rows[2].Edges) {
+		t.Errorf("edge counts not strictly decreasing: %d, %d, %d",
+			rows[0].Edges, rows[1].Edges, rows[2].Edges)
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	s := newStudy(t)
+	var sb strings.Builder
+	if err := s.WriteTableI(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Graph", "baseline", "double-coauthorship", "number-of-authors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Stats(t *testing.T) {
+	s := newStudy(t)
+	stats := s.Fig2()
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d, want 3", len(stats))
+	}
+	if stats[0].MaxSpan != 6 {
+		t.Errorf("baseline span = %d, want 6", stats[0].MaxSpan)
+	}
+	if stats[0].Components != 1 {
+		t.Errorf("baseline components = %d, want 1", stats[0].Components)
+	}
+	if stats[1].Components < 2 {
+		t.Errorf("double components = %d, want islands (>= 2)", stats[1].Components)
+	}
+	if stats[0].SeedDegree == 0 {
+		t.Error("seed missing from baseline")
+	}
+}
+
+func TestWriteFig2DOT(t *testing.T) {
+	s := newStudy(t)
+	var sb strings.Builder
+	if err := WriteFig2DOT(&sb, s.Few); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "graph fig2 {") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestSubgraphByName(t *testing.T) {
+	s := newStudy(t)
+	for _, name := range []string{"baseline", "double", "fewauthors", "few"} {
+		if _, err := s.SubgraphByName(name); err != nil {
+			t.Errorf("SubgraphByName(%q): %v", name, err)
+		}
+	}
+	if _, err := s.SubgraphByName("bogus"); err == nil {
+		t.Error("bogus name should error")
+	}
+}
+
+// TestFig3Shape verifies the paper's qualitative results on the baseline
+// panel with a reduced run count:
+//   - hit rate grows with replica count for Community Node Degree;
+//   - Community Node Degree ≥ Node Degree ≥ (roughly) Random at k=10;
+//   - Clustering Coefficient is the weakest or near-weakest;
+//   - Node Degree plateaus (the 86-author consortium artifact).
+func TestFig3Shape(t *testing.T) {
+	s := newStudy(t)
+	curves := s.Fig3(s.Baseline)
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(curves))
+	}
+	byName := map[string][]float64{}
+	for _, c := range curves {
+		rates := make([]float64, len(c.Points))
+		for i, p := range c.Points {
+			rates[i] = p.HitRate
+		}
+		byName[c.Algorithm] = rates
+		t.Logf("%-24s %v", c.Algorithm, rates)
+	}
+	cnd := byName["Community Node Degree"]
+	nd := byName["Node Degree"]
+	rnd := byName["Random"]
+	cc := byName["Clustering Coefficient"]
+	last := len(cnd) - 1
+
+	if cnd[last] <= cnd[0] {
+		t.Errorf("Community Node Degree not increasing: %v", cnd)
+	}
+	if cnd[last] < nd[last] {
+		t.Errorf("Community Node Degree (%v) below Node Degree (%v) at k=10", cnd[last], nd[last])
+	}
+	if nd[last] < rnd[last] {
+		t.Errorf("Node Degree (%v) below Random (%v) at k=10", nd[last], rnd[last])
+	}
+	if cc[last] > cnd[last] {
+		t.Errorf("Clustering Coefficient (%v) beats Community Node Degree (%v)", cc[last], cnd[last])
+	}
+	// Node-degree plateau: growth from k=2 to k=10 should be small
+	// relative to Community Node Degree's growth over the same range.
+	ndGrowth := nd[last] - nd[1]
+	cndGrowth := cnd[last] - cnd[1]
+	if ndGrowth > cndGrowth {
+		t.Errorf("Node Degree grew more (%v) than Community Node Degree (%v) after k=2 — consortium plateau missing",
+			ndGrowth, cndGrowth)
+	}
+}
+
+// TestFig3TrustOrdering verifies that trust pruning raises the achievable
+// hit rate: baseline < double-coauthorship < number-of-authors for
+// Community Node Degree at k=10 (the paper's headline observation).
+func TestFig3TrustOrdering(t *testing.T) {
+	s := newStudy(t)
+	rates := make(map[string]float64, 3)
+	for _, sub := range s.Subgraphs() {
+		curves := s.Fig3(sub)
+		for _, c := range curves {
+			if c.Algorithm == "Community Node Degree" {
+				rates[sub.Name] = c.Points[len(c.Points)-1].HitRate
+			}
+		}
+	}
+	t.Logf("k=10 Community Node Degree rates: %v", rates)
+	if !(rates["baseline"] < rates["double-coauthorship"]) {
+		t.Errorf("baseline (%.2f) should be below double-coauthorship (%.2f)",
+			rates["baseline"], rates["double-coauthorship"])
+	}
+	if !(rates["double-coauthorship"] < rates["number-of-authors"]) {
+		t.Errorf("double-coauthorship (%.2f) should be below number-of-authors (%.2f)",
+			rates["double-coauthorship"], rates["number-of-authors"])
+	}
+}
+
+func TestWriteFig3(t *testing.T) {
+	s := newStudy(t)
+	curves := s.Fig3(s.Few)
+	var sb strings.Builder
+	if err := WriteFig3(&sb, "number-of-authors", curves); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Replicas", "Random", "Node Degree", "Community Node Degree", "Clustering Coefficient"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 12 { // title + header + 10 rows
+		t.Errorf("Fig3 output lines = %d, want 12:\n%s", lines, out)
+	}
+}
+
+func TestThresholdSweeps(t *testing.T) {
+	s := newStudy(t)
+	co := s.CoauthorshipThresholdSweep([]int{2, 3})
+	if len(co) != 2 || co[0].Threshold != 2 {
+		t.Fatalf("coauthorship sweep malformed: %+v", co)
+	}
+	if co[1].Stats.Nodes > co[0].Stats.Nodes {
+		t.Errorf("higher threshold should not grow the graph: %+v", co)
+	}
+	ac := s.AuthorCountThresholdSweep([]int{4, 5, 8})
+	if len(ac) != 3 {
+		t.Fatalf("author-count sweep malformed: %+v", ac)
+	}
+	if ac[0].Stats.Nodes > ac[2].Stats.Nodes {
+		t.Errorf("lower cutoff should not grow the graph: %+v", ac)
+	}
+}
+
+func TestNewFromCorpusValidation(t *testing.T) {
+	cfg := lightConfig()
+	if _, err := NewFromCorpus(cfg, nil, 1, 2009, 2010, 2011); err == nil {
+		t.Fatal("nil corpus accepted")
+	}
+	c := &coauthor.Corpus{Publications: []coauthor.Publication{
+		{ID: 0, Year: 2009, Authors: []coauthor.AuthorID{1, 2}},
+	}}
+	if _, err := NewFromCorpus(cfg, c, 1, 2010, 2009, 2011); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := NewFromCorpus(cfg, c, 99, 2009, 2010, 2011); err == nil {
+		t.Fatal("absent seed author accepted")
+	}
+	s, err := NewFromCorpus(cfg, c, 1, 2009, 2010, 2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Synth != nil {
+		t.Fatal("corpus-based study should have nil Synth")
+	}
+	if s.Baseline.Graph.NumNodes() != 2 {
+		t.Fatalf("baseline nodes = %d", s.Baseline.Graph.NumNodes())
+	}
+}

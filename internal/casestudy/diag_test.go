@@ -1,0 +1,90 @@
+package casestudy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scdn/internal/graph"
+	"scdn/internal/placement"
+)
+
+// TestDiagFewPanel is a development diagnostic for the Fig. 3c panel.
+func TestDiagFewPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	s := newStudy(t)
+	res := s.Synth
+	few := s.Few.Graph
+
+	role := make(map[graph.NodeID]string)
+	for _, g := range res.Groups {
+		for _, m := range g {
+			if role[m] == "" {
+				role[m] = "member"
+			}
+		}
+	}
+	for _, team := range res.Teams {
+		for _, m := range team {
+			role[m] = "team"
+		}
+	}
+	for _, p := range res.PIs {
+		role[p] = "pi"
+	}
+	for _, b := range res.Brokers {
+		role[b] = "broker"
+	}
+	role[res.Seed] = "seed"
+	role[res.SuperHub] = "superhub"
+
+	// Top-15 few-degree.
+	nodes := few.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return few.Degree(nodes[i]) > few.Degree(nodes[j]) })
+	for i := 0; i < 15 && i < len(nodes); i++ {
+		t.Logf("few top-degree #%2d: node %5d deg=%2d role=%s",
+			i+1, nodes[i], few.Degree(nodes[i]), role[nodes[i]])
+	}
+
+	// CND picks at k=10.
+	picks := placement.CommunityNodeDegree{}.Place(few, 10, rand.New(rand.NewSource(1)))
+	for _, p := range picks {
+		t.Logf("CND pick: node %5d deg=%2d role=%s", p, few.Degree(p), role[p])
+	}
+	covered := placement.CoverageSet(few, picks, 1)
+	t.Logf("coverage: %d of %d nodes", len(covered), few.NumNodes())
+
+	// In-few test instance mass by role, and covered share by role.
+	total := map[string]int{}
+	hit := map[string]int{}
+	for _, ev := range s.TestEvents {
+		anyIn := false
+		for _, a := range ev {
+			if few.HasNode(a) {
+				anyIn = true
+				break
+			}
+		}
+		if !anyIn {
+			continue
+		}
+		for _, a := range ev {
+			if !few.HasNode(a) {
+				continue
+			}
+			total[role[a]]++
+			if _, ok := covered[a]; ok {
+				hit[role[a]]++
+			}
+		}
+	}
+	sum, hits := 0, 0
+	for r, n := range total {
+		sum += n
+		hits += hit[r]
+		t.Logf("in-few instances role=%-9s total=%4d covered=%4d", r, n, hit[r])
+	}
+	t.Logf("overall: %d/%d = %.1f%%", hits, sum, 100*float64(hits)/float64(sum))
+}

@@ -1,0 +1,40 @@
+package coauthor
+
+import "testing"
+
+func BenchmarkGenerateDBLP(b *testing.B) {
+	cfg := DefaultSynthConfig(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GenerateDBLP(cfg)
+	}
+}
+
+func BenchmarkTrustGraphs(b *testing.B) {
+	res := GenerateDBLP(DefaultSynthConfig(42))
+	train := res.Corpus.YearRange(2009, 2010)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := TrustGraphs(train, res.Seed, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeWeights(b *testing.B) {
+	res := GenerateDBLP(DefaultSynthConfig(42))
+	train := res.Corpus.YearRange(2009, 2010)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = train.EdgeWeights()
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	res := GenerateDBLP(DefaultSynthConfig(42))
+	train := res.Corpus.YearRange(2009, 2010)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = train.BuildGraph()
+	}
+}

@@ -1,0 +1,188 @@
+// Package coauthor models scientific coauthorship networks: publications,
+// authors, year-windowed corpora, k-hop ego networks, and the three
+// trust-pruning heuristics of the paper's Section VI case study (baseline,
+// double coauthorship, and number-of-authors).
+//
+// Because the original study's DBLP extraction is not redistributable, the
+// package also provides a deterministic synthetic generator (see synth.go)
+// calibrated to the structural properties reported in Table I and Fig. 2.
+package coauthor
+
+import (
+	"fmt"
+	"sort"
+
+	"scdn/internal/graph"
+)
+
+// AuthorID identifies an author; it doubles as the node ID in coauthorship
+// graphs.
+type AuthorID = graph.NodeID
+
+// Publication is a single paper: a year and its author list.
+type Publication struct {
+	ID      int
+	Year    int
+	Authors []AuthorID
+}
+
+// NumAuthors returns the number of authors on the publication.
+func (p Publication) NumAuthors() int { return len(p.Authors) }
+
+// Corpus is an ordered collection of publications.
+type Corpus struct {
+	Publications []Publication
+}
+
+// Len returns the number of publications.
+func (c *Corpus) Len() int { return len(c.Publications) }
+
+// YearRange returns a new Corpus containing publications with
+// from <= Year <= to.
+func (c *Corpus) YearRange(from, to int) *Corpus {
+	out := &Corpus{}
+	for _, p := range c.Publications {
+		if p.Year >= from && p.Year <= to {
+			out.Publications = append(out.Publications, p)
+		}
+	}
+	return out
+}
+
+// Authors returns the set of all authors appearing in the corpus.
+func (c *Corpus) Authors() map[AuthorID]struct{} {
+	set := make(map[AuthorID]struct{})
+	for _, p := range c.Publications {
+		for _, a := range p.Authors {
+			set[a] = struct{}{}
+		}
+	}
+	return set
+}
+
+// PairKey is an unordered author pair with A < B, used as a map key for
+// coauthorship edge weights.
+type PairKey struct{ A, B AuthorID }
+
+// MakePair normalizes (a,b) into a PairKey. It panics if a == b, which
+// would indicate a malformed publication (duplicate author entries should
+// be cleaned by the caller; the synthetic generator never produces them).
+func MakePair(a, b AuthorID) PairKey {
+	if a == b {
+		panic(fmt.Sprintf("coauthor: self pair for author %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{a, b}
+}
+
+// EdgeWeights returns, for every coauthor pair in the corpus, the number of
+// distinct publications they share. A pair appearing once on a publication
+// counts once regardless of author-list ordering.
+func (c *Corpus) EdgeWeights() map[PairKey]int {
+	w := make(map[PairKey]int)
+	for _, p := range c.Publications {
+		for i := 0; i < len(p.Authors); i++ {
+			for j := i + 1; j < len(p.Authors); j++ {
+				if p.Authors[i] == p.Authors[j] {
+					continue
+				}
+				w[MakePair(p.Authors[i], p.Authors[j])]++
+			}
+		}
+	}
+	return w
+}
+
+// BuildGraph constructs the coauthorship graph: one node per author, one
+// edge per coauthor pair (on one or more publications). Single-author
+// publications still contribute their author as an isolated node.
+func (c *Corpus) BuildGraph() *graph.Graph {
+	g := graph.New()
+	for _, p := range c.Publications {
+		for _, a := range p.Authors {
+			g.AddNode(a)
+		}
+		for i := 0; i < len(p.Authors); i++ {
+			for j := i + 1; j < len(p.Authors); j++ {
+				g.AddEdge(p.Authors[i], p.Authors[j])
+			}
+		}
+	}
+	return g
+}
+
+// Subgraph bundles a trust-pruned coauthorship graph with the publications
+// that produced it, so that downstream consumers can report the paper's
+// Table I triple (nodes, publications, edges).
+type Subgraph struct {
+	Name  string
+	Graph *graph.Graph
+	// Pubs are the publications retained by the pruning heuristic: those
+	// contributing at least one edge of the subgraph.
+	Pubs []Publication
+	// Seed is the ego-network seed author.
+	Seed AuthorID
+}
+
+// Stats is the Table I row for a subgraph.
+type Stats struct {
+	Name         string
+	Nodes        int
+	Publications int
+	Edges        int
+}
+
+// Stats returns the subgraph's Table I row.
+func (s *Subgraph) Stats() Stats {
+	return Stats{
+		Name:         s.Name,
+		Nodes:        s.Graph.NumNodes(),
+		Publications: len(s.Pubs),
+		Edges:        s.Graph.NumEdges(),
+	}
+}
+
+// MaxSpan returns the subgraph's diameter in hops (the paper's "maximum
+// span", which remains 6 across all three subgraphs).
+func (s *Subgraph) MaxSpan() int { return s.Graph.Diameter() }
+
+// EgoNetwork extracts the ego network of seed to the given hop limit from
+// the corpus: it builds the full coauthorship graph, takes the k-hop ego,
+// and keeps the publications with at least two authors inside the ego set
+// (those are the publications that contribute edges; the paper's Table I
+// counts follow this convention).
+func EgoNetwork(c *Corpus, seed AuthorID, hops int) (*Subgraph, error) {
+	full := c.BuildGraph()
+	if !full.HasNode(seed) {
+		return nil, fmt.Errorf("coauthor: seed author %d has no publications in corpus", seed)
+	}
+	ego := full.KHopEgo(seed, hops)
+	keep := make(map[AuthorID]struct{}, ego.NumNodes())
+	for _, u := range ego.Nodes() {
+		keep[u] = struct{}{}
+	}
+	var pubs []Publication
+	for _, p := range c.Publications {
+		inside := 0
+		for _, a := range p.Authors {
+			if _, ok := keep[a]; ok {
+				inside++
+			}
+		}
+		if inside >= 2 {
+			pubs = append(pubs, p)
+		}
+	}
+	return &Subgraph{Name: "baseline", Graph: ego, Pubs: pubs, Seed: seed}, nil
+}
+
+// SortedAuthors returns a publication's authors sorted ascending (for
+// deterministic processing); the receiver is not modified.
+func (p Publication) SortedAuthors() []AuthorID {
+	out := make([]AuthorID, len(p.Authors))
+	copy(out, p.Authors)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

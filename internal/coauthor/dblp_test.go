@@ -1,0 +1,175 @@
+package coauthor
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDBLP = `<?xml version="1.0"?>
+<dblp>
+  <article key="a1">
+    <author>Kyle Chard</author>
+    <author>Simon Caton</author>
+    <year>2010</year>
+    <title>Social Cloud</title>
+  </article>
+  <inproceedings key="b1">
+    <author>Kyle Chard</author>
+    <author>Daniel S. Katz</author>
+    <author>Omer Rana</author>
+    <year>2011</year>
+  </inproceedings>
+  <article key="bad-year">
+    <author>Nobody</author>
+    <year>n/a</year>
+  </article>
+  <article key="no-authors">
+    <year>2010</year>
+  </article>
+  <phdthesis key="ignored">
+    <author>Someone Else</author>
+    <year>2009</year>
+  </phdthesis>
+  <article key="dup-author">
+    <author>Kyle Chard</author>
+    <author>Kyle Chard</author>
+    <author>Simon Caton</author>
+    <year>2012</year>
+  </article>
+</dblp>`
+
+func TestParseDBLPXML(t *testing.T) {
+	res, err := ParseDBLPXML(strings.NewReader(sampleDBLP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != 3 {
+		t.Fatalf("publications = %d, want 3", res.Corpus.Len())
+	}
+	if res.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (bad year + no authors)", res.Skipped)
+	}
+	kyle, ok := res.IDs["Kyle Chard"]
+	if !ok || kyle != 1 {
+		t.Fatalf("Kyle Chard ID = %d, %v (want 1, first appearance)", kyle, ok)
+	}
+	if res.Names[kyle] != "Kyle Chard" {
+		t.Fatal("name mapping broken")
+	}
+	// Duplicate author within a record is deduplicated.
+	last := res.Corpus.Publications[2]
+	if last.NumAuthors() != 2 {
+		t.Fatalf("dup-author record has %d authors, want 2", last.NumAuthors())
+	}
+	// Years preserved.
+	if res.Corpus.Publications[0].Year != 2010 || res.Corpus.Publications[1].Year != 2011 {
+		t.Fatal("years wrong")
+	}
+}
+
+func TestParseDBLPMalformed(t *testing.T) {
+	if _, err := ParseDBLPXML(strings.NewReader("<dblp><article>")); err == nil {
+		t.Fatal("truncated XML accepted")
+	}
+}
+
+func TestSeedByName(t *testing.T) {
+	res, err := ParseDBLPXML(strings.NewReader(sampleDBLP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := res.SeedByName("Kyle Chard")
+	if err != nil || id != 1 {
+		t.Fatalf("seed = %d, %v", id, err)
+	}
+	_, err = res.SeedByName("K. Chard")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "Kyle Chard") {
+		t.Fatalf("error should suggest similar names: %v", err)
+	}
+	if _, err := res.SeedByName("Total Stranger"); err == nil {
+		t.Fatal("stranger accepted")
+	}
+}
+
+func TestDBLPRoundTrip(t *testing.T) {
+	// Generate a small synthetic corpus, write it as DBLP XML, parse it
+	// back, and verify the coauthorship structure survives.
+	cfg := DefaultSynthConfig(3)
+	cfg.Ring1Groups, cfg.Ring2Groups = 3, 4
+	cfg.NewCollabPubs = 5
+	orig := GenerateDBLP(cfg)
+
+	var sb strings.Builder
+	if err := WriteDBLPXML(&sb, orig.Corpus, nil); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDBLPXML(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Corpus.Len() != orig.Corpus.Len() {
+		t.Fatalf("round trip lost publications: %d vs %d", parsed.Corpus.Len(), orig.Corpus.Len())
+	}
+	if parsed.Skipped != 0 {
+		t.Fatalf("round trip skipped %d records", parsed.Skipped)
+	}
+	// Graph structure is isomorphic: same node/edge counts per year graph.
+	for _, years := range [][2]int{{2009, 2010}, {2011, 2011}} {
+		go1 := orig.Corpus.YearRange(years[0], years[1]).BuildGraph()
+		gp := parsed.Corpus.YearRange(years[0], years[1]).BuildGraph()
+		if go1.NumNodes() != gp.NumNodes() || go1.NumEdges() != gp.NumEdges() {
+			t.Fatalf("years %v: %d/%d vs %d/%d", years,
+				go1.NumNodes(), go1.NumEdges(), gp.NumNodes(), gp.NumEdges())
+		}
+	}
+	// Author-name mapping respects first-appearance ordering and written
+	// names survive.
+	name := parsed.Names[parsed.Corpus.Publications[0].Authors[0]]
+	if !strings.HasPrefix(name, "author-") {
+		t.Fatalf("default names missing: %q", name)
+	}
+}
+
+func TestWriteDBLPCustomNames(t *testing.T) {
+	c := &Corpus{Publications: []Publication{{ID: 0, Year: 2012, Authors: []AuthorID{1, 2}}}}
+	var sb strings.Builder
+	if err := WriteDBLPXML(&sb, c, map[AuthorID]string{1: "Kyle Chard"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<author>Kyle Chard</author>") {
+		t.Fatalf("custom name missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<author>author-2</author>") {
+		t.Fatalf("fallback name missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<year>2012</year>") {
+		t.Fatal("year missing")
+	}
+}
+
+func TestFullPipelineOnParsedData(t *testing.T) {
+	// The headline real-data path: parse XML → ego network → trust graphs.
+	res, err := ParseDBLPXML(strings.NewReader(sampleDBLP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kyle, _ := res.SeedByName("Kyle Chard")
+	base, double, few, err := TrustGraphs(res.Corpus, kyle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Graph.NumNodes() != 4 { // Kyle, Simon, Dan, Omer
+		t.Fatalf("baseline nodes = %d, want 4", base.Graph.NumNodes())
+	}
+	// Kyle-Simon coauthored twice (2010 and 2012) → survives double pruning.
+	if !double.Graph.HasEdge(1, 2) {
+		t.Fatal("double-coauthorship edge Kyle-Simon missing")
+	}
+	if few.Graph.NumNodes() == 0 {
+		t.Fatal("few-authors graph empty (all sample pubs are small)")
+	}
+}

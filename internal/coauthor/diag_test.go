@@ -1,0 +1,63 @@
+package coauthor
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestDiagRoles is a development diagnostic: run with -run TestDiagRoles -v.
+func TestDiagRoles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	res, base, double, few := genTrained(t, 42)
+
+	role := make(map[AuthorID]string)
+	for _, g := range res.Groups {
+		for _, m := range g {
+			if role[m] == "" {
+				role[m] = "member"
+			}
+		}
+	}
+	for _, team := range res.Teams {
+		for _, m := range team {
+			role[m] = "team"
+		}
+	}
+	for _, p := range res.PIs {
+		role[p] = "pi"
+	}
+	for _, b := range res.Brokers {
+		role[b] = "broker"
+	}
+	for _, c := range res.ConsortiumAuthors {
+		if role[c] == "" {
+			role[c] = "consortium-only"
+		}
+	}
+	role[res.Seed] = "seed"
+
+	// Top-20 baseline degree.
+	nodes := base.Graph.Nodes()
+	sort.Slice(nodes, func(i, j int) bool {
+		return base.Graph.Degree(nodes[i]) > base.Graph.Degree(nodes[j])
+	})
+	for i := 0; i < 20 && i < len(nodes); i++ {
+		u := nodes[i]
+		t.Logf("top-degree #%2d: node %5d deg=%3d role=%s", i+1, u, base.Graph.Degree(u), role[u])
+	}
+
+	// Double-survivor role histogram.
+	hist := make(map[string]int)
+	for _, u := range double.Graph.Nodes() {
+		hist[role[u]]++
+	}
+	t.Logf("double survivors by role: %v (total %d)", hist, double.Graph.NumNodes())
+
+	histFew := make(map[string]int)
+	for _, u := range few.Graph.Nodes() {
+		histFew[role[u]]++
+	}
+	t.Logf("few-author nodes by role: %v (total %d)", histFew, few.Graph.NumNodes())
+}

@@ -1,0 +1,116 @@
+package coauthor
+
+import (
+	"scdn/internal/graph"
+)
+
+// DefaultMaxAuthors is the paper's number-of-authors threshold: only
+// publications with fewer than six authors are trusted predictors.
+const DefaultMaxAuthors = 5
+
+// DefaultMinCoauthorships is the paper's double-coauthorship threshold:
+// an edge is trusted when the pair coauthored more than one publication.
+const DefaultMinCoauthorships = 2
+
+// DoubleCoauthorship prunes the baseline subgraph to edges whose endpoint
+// pair coauthored at least minCoauthorships publications (the paper uses
+// 2: "more than 1 publication together"). Nodes are kept only if incident
+// to a retained edge, which is what produces the isolated islands visible
+// in the paper's Fig. 2(b) — except that fully disconnected nodes vanish
+// rather than lingering as singletons. Retained publications are those
+// contributing at least one retained edge.
+func DoubleCoauthorship(base *Subgraph, minCoauthorships int) *Subgraph {
+	if minCoauthorships < 1 {
+		minCoauthorships = DefaultMinCoauthorships
+	}
+	weights := (&Corpus{Publications: base.Pubs}).EdgeWeights()
+	g := graph.New()
+	for pair, w := range weights {
+		if w >= minCoauthorships && base.Graph.HasEdge(pair.A, pair.B) {
+			g.AddEdge(pair.A, pair.B)
+		}
+	}
+	var pubs []Publication
+	for _, p := range base.Pubs {
+		if pubContributesEdge(p, g) {
+			pubs = append(pubs, p)
+		}
+	}
+	name := "double-coauthorship"
+	if minCoauthorships != DefaultMinCoauthorships {
+		name = "double-coauthorship*" // non-default threshold (ablation)
+	}
+	return &Subgraph{Name: name, Graph: g, Pubs: pubs, Seed: base.Seed}
+}
+
+// FewAuthors prunes the baseline subgraph to the coauthorship structure of
+// publications with at most maxAuthors authors (the paper keeps
+// publications "with fewer than 6 authors", i.e. maxAuthors = 5). The
+// graph is rebuilt from the retained publications, restricted to authors
+// present in the baseline subgraph. Nodes are kept only if incident to a
+// retained edge.
+func FewAuthors(base *Subgraph, maxAuthors int) *Subgraph {
+	if maxAuthors < 2 {
+		maxAuthors = DefaultMaxAuthors
+	}
+	inBase := make(map[AuthorID]struct{}, base.Graph.NumNodes())
+	for _, u := range base.Graph.Nodes() {
+		inBase[u] = struct{}{}
+	}
+	g := graph.New()
+	var pubs []Publication
+	for _, p := range base.Pubs {
+		if p.NumAuthors() > maxAuthors {
+			continue
+		}
+		added := false
+		for i := 0; i < len(p.Authors); i++ {
+			if _, ok := inBase[p.Authors[i]]; !ok {
+				continue
+			}
+			for j := i + 1; j < len(p.Authors); j++ {
+				if _, ok := inBase[p.Authors[j]]; !ok {
+					continue
+				}
+				if p.Authors[i] != p.Authors[j] {
+					g.AddEdge(p.Authors[i], p.Authors[j])
+					added = true
+				}
+			}
+		}
+		if added {
+			pubs = append(pubs, p)
+		}
+	}
+	name := "number-of-authors"
+	if maxAuthors != DefaultMaxAuthors {
+		name = "number-of-authors*"
+	}
+	return &Subgraph{Name: name, Graph: g, Pubs: pubs, Seed: base.Seed}
+}
+
+// pubContributesEdge reports whether any coauthor pair of p is an edge of g.
+func pubContributesEdge(p Publication, g *graph.Graph) bool {
+	for i := 0; i < len(p.Authors); i++ {
+		for j := i + 1; j < len(p.Authors); j++ {
+			if g.HasEdge(p.Authors[i], p.Authors[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TrustGraphs builds the paper's three case-study subgraphs from a corpus:
+// the hops-hop ego network of seed (baseline), the double-coauthorship
+// pruning, and the number-of-authors pruning, using the paper's default
+// thresholds.
+func TrustGraphs(c *Corpus, seed AuthorID, hops int) (baseline, double, fewAuthors *Subgraph, err error) {
+	baseline, err = EgoNetwork(c, seed, hops)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	double = DoubleCoauthorship(baseline, DefaultMinCoauthorships)
+	fewAuthors = FewAuthors(baseline, DefaultMaxAuthors)
+	return baseline, double, fewAuthors, nil
+}

@@ -1,0 +1,624 @@
+package coauthor
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SynthConfig parameterizes the synthetic DBLP-like coauthorship generator.
+// The zero value is unusable; start from DefaultSynthConfig, which is
+// calibrated so the three Section VI trust subgraphs land near the paper's
+// Table I (baseline 2335/1163/17973, double-coauthorship 811/881/5123,
+// number-of-authors 604/435/1988) and reproduce the Fig. 2 structure
+// (6-hop span, islands after double-coauthorship pruning, one 86-author
+// consortium publication).
+//
+// The generator works in seed-centric rings so the 3-hop ego network is
+// well defined: the seed belongs to a ring-0 group; ring-1 groups attach to
+// the seed through liaison publications (their PIs are 1 hop from the
+// seed); ring-2 groups attach through an anchor — a ring-1 member embedded
+// in the ring-2 group — placing ring-2 members at 3 hops.
+//
+// Three author roles create the structure the paper's results depend on:
+//
+//   - Core teams: each group has a persistent project team that publishes
+//     together repeatedly, producing the dense repeat-collaboration core
+//     that survives double-coauthorship pruning (Fig. 2b / Table I row 2).
+//   - Brokers: prolific ring-1 members who write many small papers with
+//     rotating partners across their own and anchored ring-2 groups; they
+//     are the hubs of the number-of-authors subgraph (Fig. 3c).
+//   - The consortium: one 86-author publication whose members dominate the
+//     baseline degree ranking, producing the Fig. 3a node-degree plateau.
+type SynthConfig struct {
+	Seed int64 // RNG seed; same seed → identical corpus
+
+	TrainFrom, TrainTo int // training window (paper: 2009–2010)
+	TestYear           int // evaluation year (paper: 2011)
+
+	Ring0Size              int
+	Ring1Groups            int
+	Ring1SizeMin, Ring1Max int
+	Ring2Groups            int
+	Ring2SizeMin, Ring2Max int
+
+	// Core team size range (includes the PI).
+	TeamMin, TeamMax int
+	// Team publications per group per year.
+	TeamPubsMin, TeamPubsMax int
+	// Expected small publications per group per year (PI + rotating
+	// members, ≤ 5 authors).
+	SmallPubsMin, SmallPubsMax int
+	// Probability of one large publication (LargeMin..LargeMax authors)
+	// per group per year.
+	PLarge             float64
+	LargeMin, LargeMax int
+
+	// Small publications per broker per year (one broker per even-indexed
+	// ring-1 group).
+	BrokerPubsMin, BrokerPubsMax int
+
+	// Probability the anchor joins a given ring-2 team/large publication.
+	AnchorJoin float64
+
+	SeedPubsPerYear int
+
+	// Consortium (mega) publication, the paper's 86-author artifact.
+	ConsortiumSize     int
+	ConsortiumEmbedded int
+
+	// Test-year novelty: probability that a test publication gains fresh
+	// authors never seen in training, how many at most, and the number of
+	// "new collaboration" publications (one network member + all-new
+	// coauthors).
+	PNewAuthors     float64
+	NewAuthorsMax   int
+	NewCollabPubs   int
+	TestActivityMul float64
+}
+
+// DefaultSynthConfig returns the calibrated configuration. Seed 42 is what
+// the repository's experiments use.
+func DefaultSynthConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Seed:      seed,
+		TrainFrom: 2009, TrainTo: 2010, TestYear: 2011,
+		Ring0Size:   18,
+		Ring1Groups: 22, Ring1SizeMin: 20, Ring1Max: 36,
+		Ring2Groups: 96, Ring2SizeMin: 18, Ring2Max: 32,
+		TeamMin: 5, TeamMax: 7,
+		TeamPubsMin: 2, TeamPubsMax: 2,
+		SmallPubsMin: 1, SmallPubsMax: 1,
+		PLarge: 0.55, LargeMin: 14, LargeMax: 20,
+		BrokerPubsMin: 8, BrokerPubsMax: 9,
+		AnchorJoin:      0.75,
+		SeedPubsPerYear: 9,
+		ConsortiumSize:  86, ConsortiumEmbedded: 6,
+		PNewAuthors:     0.45,
+		NewAuthorsMax:   4,
+		NewCollabPubs:   60,
+		TestActivityMul: 1.0,
+	}
+}
+
+// SynthResult is the generated corpus plus ground-truth structure useful
+// to tests and workload generators.
+type SynthResult struct {
+	Corpus *Corpus
+	Seed   AuthorID
+	// Groups lists every community's member set (ring 0 first, then ring 1,
+	// then ring 2), sorted ascending. Teams lists each group's persistent
+	// core team, index-aligned with Groups.
+	Groups [][]AuthorID
+	Teams  [][]AuthorID
+	// PIs are the groups' principal investigators; Brokers are the
+	// prolific small-paper authors of ring-1 groups.
+	PIs     []AuthorID
+	Brokers []AuthorID
+	// SuperHub is the network's highest-degree regular author (the ring-0
+	// PI); see synthState.superHub.
+	SuperHub AuthorID
+	// ConsortiumAuthors are the authors of the 86-author publication.
+	ConsortiumAuthors []AuthorID
+	// NumTrainingAuthors is the highest author ID issued during training;
+	// larger IDs are test-year novices.
+	NumTrainingAuthors int
+}
+
+type synthState struct {
+	cfg     SynthConfig
+	rng     *rand.Rand
+	nextID  AuthorID
+	nextPub int
+	corpus  *Corpus
+	// superHub is the network's centre of gravity (a Foster-like ring-0
+	// figure): it joins ring-1 team publications and every liaison paper,
+	// accumulating by far the highest non-consortium degree. Node Degree's
+	// first replica lands here — productive — before falling into the
+	// consortium trap, reproducing the paper's Fig. 3a plateau-after-two.
+	superHub AuthorID
+	// deputies are two senior ring-0 collaborators who co-publish with
+	// the super hub everywhere it goes. Their spheres overlap the super
+	// hub's almost completely, so degree-ranked placement wastes picks on
+	// them while the community-elected variant skips them — the paper's
+	// "community election avoids clustering replicas too close together".
+	deputies []AuthorID
+}
+
+func (s *synthState) newAuthor() AuthorID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *synthState) emit(year int, authors []AuthorID) {
+	authors = dedup(authors)
+	if len(authors) < 2 {
+		return
+	}
+	s.corpus.Publications = append(s.corpus.Publications, Publication{
+		ID: s.nextPub, Year: year, Authors: authors,
+	})
+	s.nextPub++
+}
+
+func dedup(in []AuthorID) []AuthorID {
+	seen := make(map[AuthorID]struct{}, len(in))
+	out := make([]AuthorID, 0, len(in))
+	for _, a := range in {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// group is a research community with a PI, a persistent core team, and an
+// optional anchor member from the parent ring.
+type group struct {
+	ring     int // 0, 1, or 2: social distance band from the seed
+	members  []AuthorID
+	pi       AuthorID
+	team     []AuthorID // persistent project team (includes pi)
+	brokers  []AuthorID // ring-1 only: prolific small-paper authors
+	anchor   AuthorID   // parent-ring member embedded here (0 for ring 0/1)
+	parent   *group     // the anchor's home group (nil for ring 0/1)
+	anchored []*group   // ring-1 only: ring-2 groups anchored to this group
+	rotIdx   int        // round-robin pointer into the periphery
+	// largeYear is the single training year with a large publication
+	// (0: none). One large per window keeps weight-2 pairs confined to
+	// the persistent teams.
+	largeYear int
+	// loose marks ring-2 groups whose home link appears only once, so the
+	// double-coauthorship pruning detaches them — the paper's Fig. 2b
+	// islands.
+	loose bool
+}
+
+// periphery returns the non-team members.
+func (g *group) periphery() []AuthorID {
+	if len(g.team) >= len(g.members) {
+		return nil
+	}
+	return g.members[len(g.team):]
+}
+
+// nextRot returns the next n periphery members in round-robin order.
+// Cycling (rather than sampling) means guest pairs almost never repeat, so
+// the double-coauthorship subgraph stays confined to the persistent teams,
+// matching the paper's dense-core pruning result.
+func (g *group) nextRot(n int) []AuthorID {
+	per := g.periphery()
+	if len(per) == 0 {
+		return nil
+	}
+	if n > len(per) {
+		n = len(per)
+	}
+	out := make([]AuthorID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, per[g.rotIdx%len(per)])
+		g.rotIdx++
+	}
+	return out
+}
+
+// sample returns n distinct random members of pool (fewer if the pool is
+// smaller), excluding any in the skip set.
+func (s *synthState) sample(pool []AuthorID, n int, skip map[AuthorID]struct{}) []AuthorID {
+	avail := make([]AuthorID, 0, len(pool))
+	for _, a := range pool {
+		if _, bad := skip[a]; !bad {
+			avail = append(avail, a)
+		}
+	}
+	s.rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+	if n > len(avail) {
+		n = len(avail)
+	}
+	return avail[:n]
+}
+
+func asSet(ids []AuthorID) map[AuthorID]struct{} {
+	m := make(map[AuthorID]struct{}, len(ids))
+	for _, a := range ids {
+		m[a] = struct{}{}
+	}
+	return m
+}
+
+// groupYear emits one year's worth of publications for g.
+func (s *synthState) groupYear(g *group, year int, mul float64) {
+	cfg := s.cfg
+	scale := func(n int) int {
+		v := int(float64(n)*mul + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	// Team publications: the persistent core plus round-robin guests. The
+	// super hub joins one ring-1 team paper per group-year more often than
+	// not, building its outsized degree.
+	teamPubs := scale(cfg.TeamPubsMin + s.rng.Intn(cfg.TeamPubsMax-cfg.TeamPubsMin+1))
+	for i := 0; i < teamPubs; i++ {
+		authors := append([]AuthorID{}, g.team...)
+		authors = append(authors, g.nextRot(s.rng.Intn(3))...)
+		if g.anchor != 0 && s.rng.Float64() < cfg.AnchorJoin {
+			authors = append(authors, g.anchor)
+		}
+		// Stable (weight-2) super-hub ties to the broker-hosting half of
+		// ring 1: these survive double-coauthorship pruning and give that
+		// subgraph its active, coverable core.
+		if g.ring == 1 && i == 0 && len(g.brokers) > 0 {
+			authors = append(authors, s.superHub)
+			authors = append(authors, s.deputies...)
+		}
+		s.emit(year, authors)
+	}
+	// Small publications: PI with one or two team colleagues. Keeping
+	// smalls fully team-internal gives the number-of-authors subgraph its
+	// dense hub neighbourhoods without minting fresh low-degree nodes.
+	// Inner rings write small papers at roughly twice the outer-ring rate:
+	// the ego-network sample is densest near its centre, which is what
+	// concentrates the pruned subgraphs (and their hit rates) there.
+	smallPubs := scale(cfg.SmallPubsMin + s.rng.Intn(cfg.SmallPubsMax-cfg.SmallPubsMin+1))
+	if g.ring <= 1 {
+		smallPubs *= 2
+	}
+	smallKeep := 0.8
+	if g.ring == 2 {
+		smallKeep = 0.15
+	}
+	for i := 0; i < smallPubs; i++ {
+		if s.rng.Float64() > smallKeep {
+			continue // not every group writes a small paper every year
+		}
+		authors := []AuthorID{g.pi}
+		authors = append(authors, s.sample(g.team[1:], 2+s.rng.Intn(2), nil)...)
+		s.emit(year, authors)
+	}
+	// Large publication: at most one per training window (plus possibly
+	// one in the test year), drawn from the periphery plus the PI so the
+	// repeat pairs it creates with team publications stay rare.
+	// The PI stays off large publications: a PI on a large would pair with
+	// every rotated guest twice, flooding the double-coauthorship core.
+	if year == g.largeYear || (year == cfg.TestYear && s.rng.Float64() < cfg.PLarge*mul*0.5) {
+		n := cfg.LargeMin + s.rng.Intn(cfg.LargeMax-cfg.LargeMin+1)
+		authors := s.sample(g.periphery(), n, nil)
+		if g.anchor != 0 && s.rng.Float64() < cfg.AnchorJoin {
+			authors = append(authors, g.anchor)
+		}
+		s.emit(year, authors)
+	}
+	// Broker publications (ring-1 groups): many small papers with partners
+	// drawn from the teams of the broker's home group and of its first two
+	// anchored ring-2 groups. The fixed pool set makes each broker a deep
+	// hub over a small neighbourhood rather than a shallow one over many.
+	for _, b := range g.brokers {
+		pubs := scale(cfg.BrokerPubsMin + s.rng.Intn(cfg.BrokerPubsMax-cfg.BrokerPubsMin+1))
+		for i := 0; i < pubs; i++ {
+			pool := g
+			if len(g.anchored) > 0 && s.rng.Float64() < 0.6 {
+				pool = g.anchored[s.rng.Intn(min(2, len(g.anchored)))]
+			}
+			authors := []AuthorID{b}
+			authors = append(authors, s.sample(pool.team, 2+s.rng.Intn(2), asSet(authors))...)
+			authors = append(authors, pool.nextRot(1)...)
+			if len(authors) > 5 {
+				authors = authors[:5] // brokers write small papers only
+			}
+			s.emit(year, authors)
+		}
+	}
+	if g.anchor != 0 && g.parent != nil {
+		// Home-link publication: the anchor publishes with its home-group
+		// PI, so the member→anchor→home-PI→seed spine carries weight ≥ 2
+		// and survives double-coauthorship pruning. Loose groups link only
+		// once — those become the paper's Fig. 2b islands. Six authors
+		// keep home links out of the number-of-authors subgraph.
+		// Filler authors come from this group's own team (already double
+		// survivors) rather than the parent's membership, so home links
+		// never mint accidental weight-2 pairs in the parent group.
+		if !g.loose || year == cfg.TrainFrom {
+			authors := []AuthorID{g.anchor, g.parent.pi}
+			authors = append(authors, s.sample(g.team, 4, asSet(authors))...)
+			s.emit(year, authors)
+		}
+	}
+}
+
+// seedPub emits one publication by the ego seed with repeat preference:
+// mostly the same ring-0 colleagues and ring-1 PIs.
+func (s *synthState) seedPub(year int, seed AuthorID, ring0 *group, ring1 []*group) {
+	n := 2 + s.rng.Intn(6) // 2..7 authors
+	authors := []AuthorID{seed}
+	chosen := map[AuthorID]struct{}{seed: {}}
+	for attempts := 0; len(authors) < n && attempts < 20*n; attempts++ {
+		var cand AuthorID
+		if s.rng.Float64() < 0.7 {
+			cand = ring0.members[s.rng.Intn(len(ring0.members))]
+		} else {
+			cand = ring1[s.rng.Intn(len(ring1))].pi
+		}
+		if _, dup := chosen[cand]; dup {
+			continue
+		}
+		chosen[cand] = struct{}{}
+		authors = append(authors, cand)
+	}
+	s.emit(year, authors)
+}
+
+// GenerateDBLP builds the synthetic coauthorship corpus. The same config
+// (including Seed) always yields the identical corpus.
+func GenerateDBLP(cfg SynthConfig) *SynthResult {
+	s := &synthState{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nextID: 1,
+		corpus: &Corpus{},
+	}
+	seed := s.newAuthor() // AuthorID 1 = the ego seed
+
+	newGroup := func(size int) *group {
+		g := &group{}
+		for i := 0; i < size; i++ {
+			g.members = append(g.members, s.newAuthor())
+		}
+		g.pi = g.members[0]
+		teamSize := cfg.TeamMin + s.rng.Intn(cfg.TeamMax-cfg.TeamMin+1)
+		if teamSize > size {
+			teamSize = size
+		}
+		g.team = append([]AuthorID{}, g.members[:teamSize]...)
+		if s.rng.Float64() < cfg.PLarge {
+			g.largeYear = cfg.TrainFrom + s.rng.Intn(cfg.TrainTo-cfg.TrainFrom+1)
+		}
+		return g
+	}
+
+	ring0 := newGroup(cfg.Ring0Size)
+	ring0.members = append(ring0.members, seed) // seed is a full ring-0 member
+	s.superHub = ring0.pi
+	if len(ring0.members) > 2 {
+		s.deputies = []AuthorID{ring0.members[1], ring0.members[2]}
+	}
+
+	ring1 := make([]*group, cfg.Ring1Groups)
+	for i := range ring1 {
+		size := cfg.Ring1SizeMin + s.rng.Intn(cfg.Ring1Max-cfg.Ring1SizeMin+1)
+		ring1[i] = newGroup(size)
+		ring1[i].ring = 1
+		// Every other ring-1 group hosts one broker: a prolific
+		// small-paper author outside the core team. Keeping brokers rare
+		// but deep (many papers each) makes them the dominant hubs of the
+		// number-of-authors subgraph, which is what lets ten replicas
+		// cover most of its activity (Fig. 3c).
+		if i%2 == 0 {
+			start := len(ring1[i].team)
+			if start < size {
+				ring1[i].brokers = append(ring1[i].brokers, ring1[i].members[start])
+			}
+		}
+	}
+
+	// Ring-2 anchors are distinct ring-1 members (never PIs or brokers) so
+	// no ordinary author out-degrees the consortium members.
+	usedAnchor := make(map[AuthorID]struct{})
+	ring2 := make([]*group, cfg.Ring2Groups)
+	for i := range ring2 {
+		size := cfg.Ring2SizeMin + s.rng.Intn(cfg.Ring2Max-cfg.Ring2SizeMin+1)
+		ring2[i] = newGroup(size)
+		ring2[i].ring = 2
+		parent := ring1[s.rng.Intn(len(ring1))]
+		var anchor AuthorID
+		for attempts := 0; attempts < 200; attempts++ {
+			cand := parent.members[s.rng.Intn(len(parent.members))]
+			_, used := usedAnchor[cand]
+			if cand != parent.pi && !used && !contains(parent.brokers, cand) {
+				anchor = cand
+				break
+			}
+			if attempts%50 == 49 { // parent saturated; try another group
+				parent = ring1[s.rng.Intn(len(ring1))]
+			}
+		}
+		if anchor == 0 { // extremely saturated config: accept reuse
+			anchor = parent.members[s.rng.Intn(len(parent.members))]
+		}
+		usedAnchor[anchor] = struct{}{}
+		ring2[i].anchor = anchor
+		ring2[i].parent = parent
+		ring2[i].loose = s.rng.Float64() < 0.22
+		parent.anchored = append(parent.anchored, ring2[i])
+	}
+
+	groups := append([]*group{ring0}, append(ring1, ring2...)...)
+
+	// Joint projects: sibling teams (same ring, same parent for ring 2)
+	// co-publish every year. These repeated team-to-team publications are
+	// what give the double-coauthorship core its density (the paper's
+	// subgraph has mean degree ~12, far above what a single team can
+	// supply). Loose groups are excluded so the Fig. 2b islands survive.
+	var jointPairs [][2]*group
+	for i := 0; i+1 < len(ring1); i += 2 {
+		jointPairs = append(jointPairs, [2]*group{ring1[i], ring1[i+1]})
+	}
+	for _, parent := range ring1 {
+		var tight []*group
+		for _, g := range parent.anchored {
+			if !g.loose {
+				tight = append(tight, g)
+			}
+		}
+		for i := 0; i+1 < len(tight); i += 2 {
+			jointPairs = append(jointPairs, [2]*group{tight[i], tight[i+1]})
+		}
+	}
+	jointPub := func(year int, pair [2]*group) {
+		authors := append([]AuthorID{}, pair[0].team...)
+		authors = append(authors, pair[1].team...)
+		s.emit(year, authors)
+	}
+
+	// --- Training years --------------------------------------------------
+	for year := cfg.TrainFrom; year <= cfg.TrainTo; year++ {
+		for i := 0; i < cfg.SeedPubsPerYear; i++ {
+			s.seedPub(year, seed, ring0, ring1)
+		}
+		// Liaison publications: every ring-1 group co-publishes with the
+		// seed every training year, giving the seed↔PI edges weight ≥ 2.
+		// The first year's liaison paper is small (≤ 5 authors) so the
+		// seed remains a hub of the number-of-authors subgraph too.
+		// The super hub appears on first-year liaisons only: its edges to
+		// the PIs stay weight-1, so it does not blanket-block every PI
+		// under Community Node Degree on the double-coauthorship graph.
+		// Liaisons carry six authors: they stay out of the
+		// number-of-authors subgraph, so the seed does not blanket-block
+		// every PI there under Community Node Degree.
+		for _, g := range ring1 {
+			var authors []AuthorID
+			if year == cfg.TrainFrom {
+				authors = []AuthorID{seed, g.pi, s.superHub}
+				authors = append(authors, s.sample(g.team[1:], 1, nil)...)
+				authors = append(authors, s.sample(ring0.members, 2, asSet(authors))...)
+			} else {
+				authors = []AuthorID{seed, g.pi}
+				authors = append(authors, s.sample(ring0.members, 4, asSet(authors))...)
+			}
+			s.emit(year, authors)
+		}
+		for _, g := range groups {
+			s.groupYear(g, year, 1.0)
+		}
+		for _, pair := range jointPairs {
+			jointPub(year, pair)
+		}
+	}
+
+	// Consortium publication: the 86-author artifact. Lead is a ring-1
+	// member (hop 2), a few embedded members are ring-2 regulars, the rest
+	// are consortium-only authors.
+	consortium := make([]AuthorID, 0, cfg.ConsortiumSize)
+	leadGroup := ring1[s.rng.Intn(len(ring1))]
+	// The lead must be a team member: teams co-publish with their PI, so
+	// the lead is guaranteed to sit 2 hops from the seed and the whole
+	// consortium lands inside the 3-hop ego network.
+	consortium = append(consortium, leadGroup.team[s.rng.Intn(len(leadGroup.team))])
+	for i := 0; i < cfg.ConsortiumEmbedded; i++ {
+		g := ring2[s.rng.Intn(len(ring2))]
+		consortium = append(consortium, g.members[s.rng.Intn(len(g.members))])
+	}
+	consortium = dedup(consortium)
+	for len(consortium) < cfg.ConsortiumSize {
+		consortium = append(consortium, s.newAuthor())
+	}
+	s.emit(cfg.TrainTo, consortium)
+
+	trainMax := int(s.nextID) - 1
+
+	// --- Test year --------------------------------------------------------
+	year := cfg.TestYear
+	mul := cfg.TestActivityMul
+	if mul <= 0 {
+		mul = 1
+	}
+	for i := 0; i < int(float64(cfg.SeedPubsPerYear)*mul+0.5); i++ {
+		s.seedPub(year, seed, ring0, ring1)
+	}
+	// Ego-centric activity gradient: groups near the seed stay productive
+	// inside the network, while outer-ring groups publish less here and
+	// collaborate mostly outward (their 2011 papers gain many authors the
+	// training network never saw). This is what the 3-hop DBLP sample
+	// looks like from its centre, and it concentrates achievable hits on
+	// the trusted core — the paper's headline effect.
+	for _, g := range groups {
+		ringMul, pNew, maxNew := mul, cfg.PNewAuthors*0.55, cfg.NewAuthorsMax/2
+		if g.ring == 2 {
+			ringMul, pNew, maxNew = mul*0.85, cfg.PNewAuthors*1.5, cfg.NewAuthorsMax
+		}
+		if pNew > 0.95 {
+			pNew = 0.95
+		}
+		if maxNew < 1 {
+			maxNew = 1
+		}
+		start := len(s.corpus.Publications)
+		s.groupYear(g, year, ringMul)
+		for i := start; i < len(s.corpus.Publications); i++ {
+			if s.rng.Float64() < pNew {
+				p := &s.corpus.Publications[i]
+				extra := 1 + s.rng.Intn(maxNew)
+				for j := 0; j < extra; j++ {
+					p.Authors = append(p.Authors, s.newAuthor())
+				}
+			}
+		}
+	}
+	for _, pair := range jointPairs {
+		if s.rng.Float64() < 0.6*mul {
+			jointPub(year, pair)
+		}
+	}
+	// New collaborations: a lone network member with an all-new team.
+	for i := 0; i < cfg.NewCollabPubs; i++ {
+		g := groups[s.rng.Intn(len(groups))]
+		authors := []AuthorID{g.members[s.rng.Intn(len(g.members))]}
+		n := 2 + s.rng.Intn(5)
+		for j := 0; j < n; j++ {
+			authors = append(authors, s.newAuthor())
+		}
+		s.emit(year, authors)
+	}
+
+	// --- Result -----------------------------------------------------------
+	res := &SynthResult{
+		Corpus:             s.corpus,
+		Seed:               seed,
+		SuperHub:           s.superHub,
+		ConsortiumAuthors:  consortium,
+		NumTrainingAuthors: trainMax,
+	}
+	for _, g := range groups {
+		members := make([]AuthorID, len(g.members))
+		copy(members, g.members)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		res.Groups = append(res.Groups, members)
+		team := make([]AuthorID, len(g.team))
+		copy(team, g.team)
+		res.Teams = append(res.Teams, team)
+		res.PIs = append(res.PIs, g.pi)
+		res.Brokers = append(res.Brokers, g.brokers...)
+	}
+	return res
+}
+
+func contains(pool []AuthorID, a AuthorID) bool {
+	for _, m := range pool {
+		if m == a {
+			return true
+		}
+	}
+	return false
+}

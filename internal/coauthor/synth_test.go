@@ -1,0 +1,202 @@
+package coauthor
+
+import (
+	"testing"
+)
+
+func genTrained(t testing.TB, seed int64) (*SynthResult, *Subgraph, *Subgraph, *Subgraph) {
+	t.Helper()
+	res := GenerateDBLP(DefaultSynthConfig(seed))
+	train := res.Corpus.YearRange(2009, 2010)
+	base, double, few, err := TrustGraphs(train, res.Seed, 3)
+	if err != nil {
+		t.Fatalf("TrustGraphs: %v", err)
+	}
+	return res, base, double, few
+}
+
+func TestSynthDeterminism(t *testing.T) {
+	a := GenerateDBLP(DefaultSynthConfig(42))
+	b := GenerateDBLP(DefaultSynthConfig(42))
+	if a.Corpus.Len() != b.Corpus.Len() {
+		t.Fatalf("corpus lengths differ: %d vs %d", a.Corpus.Len(), b.Corpus.Len())
+	}
+	for i := range a.Corpus.Publications {
+		pa, pb := a.Corpus.Publications[i], b.Corpus.Publications[i]
+		if pa.Year != pb.Year || len(pa.Authors) != len(pb.Authors) {
+			t.Fatalf("publication %d differs", i)
+		}
+		for j := range pa.Authors {
+			if pa.Authors[j] != pb.Authors[j] {
+				t.Fatalf("publication %d author %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSynthDifferentSeedsDiffer(t *testing.T) {
+	a := GenerateDBLP(DefaultSynthConfig(1))
+	b := GenerateDBLP(DefaultSynthConfig(2))
+	if a.Corpus.Len() == b.Corpus.Len() {
+		// Lengths can collide; check author streams too.
+		same := true
+		for i := 0; i < a.Corpus.Len() && i < b.Corpus.Len(); i++ {
+			if len(a.Corpus.Publications[i].Authors) != len(b.Corpus.Publications[i].Authors) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Log("seeds 1 and 2 produced structurally similar corpora (allowed but suspicious)")
+		}
+	}
+}
+
+func TestSynthConsortiumPublication(t *testing.T) {
+	res := GenerateDBLP(DefaultSynthConfig(42))
+	found := false
+	for _, p := range res.Corpus.Publications {
+		if p.NumAuthors() == 86 && p.Year <= 2010 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no 86-author consortium publication in training window")
+	}
+	if len(res.ConsortiumAuthors) != 86 {
+		t.Fatalf("ConsortiumAuthors = %d, want 86", len(res.ConsortiumAuthors))
+	}
+}
+
+func TestSynthNoDuplicateAuthorsWithinPub(t *testing.T) {
+	res := GenerateDBLP(DefaultSynthConfig(7))
+	for _, p := range res.Corpus.Publications {
+		seen := make(map[AuthorID]struct{}, len(p.Authors))
+		for _, a := range p.Authors {
+			if _, dup := seen[a]; dup {
+				t.Fatalf("publication %d has duplicate author %d", p.ID, a)
+			}
+			seen[a] = struct{}{}
+		}
+	}
+}
+
+func TestSynthTestYearHasNovices(t *testing.T) {
+	res := GenerateDBLP(DefaultSynthConfig(42))
+	test := res.Corpus.YearRange(2011, 2011)
+	novices := 0
+	for a := range test.Authors() {
+		if int(a) > res.NumTrainingAuthors {
+			novices++
+		}
+	}
+	if novices < 50 {
+		t.Fatalf("test year novices = %d, want >= 50 (new-collaborator dilution)", novices)
+	}
+}
+
+// TestSynthCalibration checks the generated subgraphs land in the
+// neighbourhood of the paper's Table I. Bounds are deliberately loose
+// (±35%): the reproduction contract is shape, not exact counts. The test
+// also logs the measured triples so calibration drift is visible in -v runs.
+func TestSynthCalibration(t *testing.T) {
+	_, base, double, few := genTrained(t, 42)
+	type row struct {
+		got   Stats
+		nodes int
+		pubs  int
+		edges int
+	}
+	rows := []row{
+		{base.Stats(), 2335, 1163, 17973},
+		{double.Stats(), 811, 881, 5123},
+		{few.Stats(), 604, 435, 1988},
+	}
+	for _, r := range rows {
+		t.Logf("%-22s nodes=%d (paper %d)  pubs=%d (paper %d)  edges=%d (paper %d)",
+			r.got.Name, r.got.Nodes, r.nodes, r.got.Publications, r.pubs, r.got.Edges, r.edges)
+		check := func(what string, got, want int, tol float64) {
+			lo, hi := int(float64(want)*(1-tol)), int(float64(want)*(1+tol))
+			if got < lo || got > hi {
+				t.Errorf("%s %s = %d, outside [%d, %d] (paper %d)",
+					r.got.Name, what, got, lo, hi, want)
+			}
+		}
+		check("nodes", r.got.Nodes, r.nodes, 0.35)
+		// Publication counting is the most interpretation-sensitive part
+		// of Table I (the paper does not define which publications a
+		// pruned subgraph "contains"); allow a wider band.
+		check("publications", r.got.Publications, r.pubs, 0.50)
+		check("edges", r.got.Edges, r.edges, 0.35)
+	}
+}
+
+// TestSynthFig2Structure checks the paper's Fig. 2 observations: the span
+// stays 6 hops in all subgraphs, and the double-coauthorship graph is the
+// only one with isolated islands.
+func TestSynthFig2Structure(t *testing.T) {
+	_, base, double, few := genTrained(t, 42)
+	if got := base.MaxSpan(); got != 6 {
+		t.Errorf("baseline max span = %d, want 6", got)
+	}
+	// The paper reports the span staying at 6 after pruning; with pruning
+	// some detours lengthen, so we accept a modest stretch (documented in
+	// EXPERIMENTS.md).
+	if got := double.MaxSpan(); got < 4 || got > 12 {
+		t.Errorf("double-coauthorship max span = %d, want ~6 (4..12)", got)
+	}
+	if got := few.MaxSpan(); got < 4 || got > 15 {
+		t.Errorf("few-authors max span = %d, want ~6 (4..15)", got)
+	}
+	baseComps := len(base.Graph.ConnectedComponents())
+	doubleComps := len(double.Graph.ConnectedComponents())
+	if baseComps != 1 {
+		t.Errorf("baseline components = %d, want 1 (connected ego net)", baseComps)
+	}
+	if doubleComps < 2 {
+		t.Errorf("double-coauthorship components = %d, want >= 2 (islands)", doubleComps)
+	}
+	t.Logf("components: baseline=%d double=%d few=%d",
+		baseComps, doubleComps, len(few.Graph.ConnectedComponents()))
+}
+
+// TestSynthDegreeArtifact checks that the consortium publication creates
+// the paper's node-degree artifact: consortium authors dominate the top of
+// the baseline degree ranking.
+func TestSynthDegreeArtifact(t *testing.T) {
+	res, base, _, _ := genTrained(t, 42)
+	inConsortium := make(map[AuthorID]struct{}, len(res.ConsortiumAuthors))
+	for _, a := range res.ConsortiumAuthors {
+		inConsortium[a] = struct{}{}
+	}
+	type nd struct {
+		n AuthorID
+		d int
+	}
+	var all []nd
+	for _, u := range base.Graph.Nodes() {
+		all = append(all, nd{u, base.Graph.Degree(u)})
+	}
+	// top 10 by degree
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d > all[i].d {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+		if i >= 9 {
+			break
+		}
+	}
+	top10InConsortium := 0
+	for i := 0; i < 10 && i < len(all); i++ {
+		if _, ok := inConsortium[all[i].n]; ok {
+			top10InConsortium++
+		}
+	}
+	if top10InConsortium < 6 {
+		t.Errorf("consortium members in top-10 degree = %d, want >= 6 (the Fig. 3a plateau artifact)",
+			top10InConsortium)
+	}
+	t.Logf("top-10 degree nodes in consortium: %d/10", top10InConsortium)
+}

@@ -1,0 +1,71 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"scdn/internal/graph"
+)
+
+// benchGraph builds a planted-partition graph: 40 communities of 25 nodes
+// with dense intra- and sparse inter-community edges.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New()
+	const comms, size = 40, 25
+	for c := 0; c < comms; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(graph.NodeID(base+i), graph.NodeID(base+j))
+				}
+			}
+		}
+		if c > 0 {
+			g.AddEdge(graph.NodeID(base), graph.NodeID(base-size))
+		}
+	}
+	return g
+}
+
+func BenchmarkLabelPropagation(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LabelPropagation(g, rand.New(rand.NewSource(int64(i))), 50)
+	}
+}
+
+func BenchmarkGreedyModularity(b *testing.B) {
+	// CNM-style is the slow path; smaller instance.
+	rng := rand.New(rand.NewSource(6))
+	g := graph.New()
+	for c := 0; c < 8; c++ {
+		base := c * 12
+		for i := 0; i < 12; i++ {
+			for j := i + 1; j < 12; j++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(graph.NodeID(base+i), graph.NodeID(base+j))
+				}
+			}
+		}
+		if c > 0 {
+			g.AddEdge(graph.NodeID(base), graph.NodeID(base-12))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyModularity(g)
+	}
+}
+
+func BenchmarkModularity(b *testing.B) {
+	g := benchGraph(b)
+	p := LabelPropagation(g, rand.New(rand.NewSource(7)), 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Modularity(g, p)
+	}
+}

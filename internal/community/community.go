@@ -1,0 +1,231 @@
+// Package community implements community detection over the social graph:
+// synchronous label propagation, a greedy modularity heuristic, and the
+// paper's lightweight "community = a node and its direct neighbours"
+// notion used by the Community Node Degree placement algorithm.
+package community
+
+import (
+	"math/rand"
+	"sort"
+
+	"scdn/internal/graph"
+)
+
+// Partition maps every node to a community label. Labels are arbitrary but
+// stable within one detection run.
+type Partition map[graph.NodeID]int
+
+// Communities groups a Partition into label→member-set form, with members
+// sorted ascending and groups ordered by descending size then smallest
+// member (deterministic).
+func (p Partition) Communities() [][]graph.NodeID {
+	byLabel := make(map[int][]graph.NodeID)
+	for u, l := range p {
+		byLabel[l] = append(byLabel[l], u)
+	}
+	out := make([][]graph.NodeID, 0, len(byLabel))
+	for _, members := range byLabel {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// Modularity computes Newman modularity Q of the partition on g:
+// Q = (1/2m) Σ_ij [A_ij − k_i k_j / 2m] δ(c_i, c_j).
+// Returns 0 for graphs with no edges.
+func Modularity(g *graph.Graph, p Partition) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	// Sum of intra-community edges and per-community degree totals.
+	intra := make(map[int]float64)
+	degSum := make(map[int]float64)
+	for _, u := range g.Nodes() {
+		degSum[p[u]] += float64(g.Degree(u))
+	}
+	for _, e := range g.Edges() {
+		if p[e.U] == p[e.V] {
+			intra[p[e.U]]++
+		}
+	}
+	q := 0.0
+	for label, d := range degSum {
+		q += intra[label]/m - (d/(2*m))*(d/(2*m))
+	}
+	return q
+}
+
+// LabelPropagation runs synchronous-ish label propagation: every node
+// starts in its own community, then repeatedly adopts the most frequent
+// label among its neighbours (ties broken by smallest label). Node visit
+// order is shuffled each round using rng for robustness; pass a seeded
+// rand.Rand for reproducibility. Converges when a full round changes no
+// labels or after maxRounds.
+func LabelPropagation(g *graph.Graph, rng *rand.Rand, maxRounds int) Partition {
+	nodes := g.Nodes()
+	labels := make(Partition, len(nodes))
+	for i, u := range nodes {
+		labels[u] = i
+	}
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	order := make([]graph.NodeID, len(nodes))
+	copy(order, nodes)
+	for round := 0; round < maxRounds; round++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, u := range order {
+			best, ok := dominantLabel(g, labels, u)
+			if ok && best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return canonicalize(labels)
+}
+
+// dominantLabel returns the most frequent label among u's neighbours,
+// breaking frequency ties by the smallest label value. ok is false when u
+// has no neighbours.
+func dominantLabel(g *graph.Graph, labels Partition, u graph.NodeID) (int, bool) {
+	counts := make(map[int]int)
+	for _, v := range g.Neighbors(u) {
+		counts[labels[v]]++
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	best, bestCount := 0, -1
+	for l, c := range counts {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	return best, true
+}
+
+// GreedyModularity is a CNM-style agglomerative heuristic: start with each
+// node in its own community and repeatedly merge the connected community
+// pair yielding the largest modularity gain, stopping when no merge
+// improves Q. It is O(rounds · E · C) — adequate for case-study graphs.
+func GreedyModularity(g *graph.Graph) Partition {
+	p := make(Partition, g.NumNodes())
+	for i, u := range g.Nodes() {
+		p[u] = i
+	}
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return canonicalize(p)
+	}
+	degSum := make(map[int]float64)
+	for _, u := range g.Nodes() {
+		degSum[p[u]] += float64(g.Degree(u))
+	}
+	// between[a][b] = number of edges between communities a and b (a<b).
+	between := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for _, e := range g.Edges() {
+		if p[e.U] != p[e.V] {
+			between[key(p[e.U], p[e.V])]++
+		}
+	}
+	for {
+		bestGain := 0.0
+		var bestPair [2]int
+		found := false
+		for pair, eab := range between {
+			a, b := pair[0], pair[1]
+			// ΔQ of merging a,b = e_ab/m − 2·(d_a/2m)·(d_b/2m)
+			gain := eab/m - 2*(degSum[a]/(2*m))*(degSum[b]/(2*m))
+			if gain > bestGain+1e-12 || (!found && gain > 1e-12) {
+				if gain > bestGain {
+					bestGain, bestPair, found = gain, pair, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		a, b := bestPair[0], bestPair[1]
+		// Merge b into a.
+		for u, l := range p {
+			if l == b {
+				p[u] = a
+			}
+		}
+		degSum[a] += degSum[b]
+		delete(degSum, b)
+		// Re-route b's inter-community edges to a.
+		for pair, eab := range between {
+			if pair[0] == b || pair[1] == b {
+				other := pair[0]
+				if other == b {
+					other = pair[1]
+				}
+				delete(between, pair)
+				if other != a {
+					between[key(a, other)] += eab
+				}
+			}
+		}
+		delete(between, key(a, b))
+	}
+	return canonicalize(p)
+}
+
+// Neighborhood returns the paper's direct-neighbour community of u: u plus
+// all of its neighbours.
+func Neighborhood(g *graph.Graph, u graph.NodeID) map[graph.NodeID]struct{} {
+	set := map[graph.NodeID]struct{}{u: {}}
+	for _, v := range g.Neighbors(u) {
+		set[v] = struct{}{}
+	}
+	return set
+}
+
+// canonicalize renumbers labels densely in order of each label's smallest
+// member so two runs with identical groupings produce identical Partitions.
+func canonicalize(p Partition) Partition {
+	smallest := make(map[int]graph.NodeID)
+	for u, l := range p {
+		if cur, ok := smallest[l]; !ok || u < cur {
+			smallest[l] = u
+		}
+	}
+	type lab struct {
+		old int
+		min graph.NodeID
+	}
+	labs := make([]lab, 0, len(smallest))
+	for l, m := range smallest {
+		labs = append(labs, lab{l, m})
+	}
+	sort.Slice(labs, func(i, j int) bool { return labs[i].min < labs[j].min })
+	remap := make(map[int]int, len(labs))
+	for i, l := range labs {
+		remap[l.old] = i
+	}
+	out := make(Partition, len(p))
+	for u, l := range p {
+		out[u] = remap[l]
+	}
+	return out
+}

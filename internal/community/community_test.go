@@ -1,0 +1,198 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scdn/internal/graph"
+)
+
+// twoCliques builds two K_k cliques joined by a single bridge edge.
+func twoCliques(k int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			g.AddEdge(graph.NodeID(100+i), graph.NodeID(100+j))
+		}
+	}
+	g.AddEdge(0, 100)
+	return g
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliques(6)
+	p := LabelPropagation(g, rand.New(rand.NewSource(1)), 50)
+	// All members of each clique should share a label.
+	for i := 1; i < 6; i++ {
+		if p[graph.NodeID(i)] != p[0] {
+			t.Fatalf("clique A split: node %d label %d vs node 0 label %d", i, p[graph.NodeID(i)], p[0])
+		}
+		if p[graph.NodeID(100+i)] != p[100] {
+			t.Fatalf("clique B split at node %d", 100+i)
+		}
+	}
+}
+
+func TestLabelPropagationIsolatedNodeKeepsOwnLabel(t *testing.T) {
+	g := graph.New()
+	g.AddNode(42)
+	g.AddEdge(1, 2)
+	p := LabelPropagation(g, rand.New(rand.NewSource(2)), 10)
+	if p[42] == p[1] {
+		t.Fatal("isolated node merged into another community")
+	}
+}
+
+func TestGreedyModularityTwoCliques(t *testing.T) {
+	g := twoCliques(5)
+	p := GreedyModularity(g)
+	comms := p.Communities()
+	if len(comms) != 2 {
+		t.Fatalf("communities = %d, want 2 (got %v)", len(comms), comms)
+	}
+	if Modularity(g, p) <= 0.3 {
+		t.Fatalf("modularity = %v, want > 0.3 for two cliques", Modularity(g, p))
+	}
+}
+
+func TestGreedyModularityEmptyAndEdgeless(t *testing.T) {
+	if p := GreedyModularity(graph.New()); len(p) != 0 {
+		t.Fatal("empty graph should yield empty partition")
+	}
+	g := graph.New()
+	g.AddNode(1)
+	g.AddNode(2)
+	p := GreedyModularity(g)
+	if p[1] == p[2] {
+		t.Fatal("edgeless nodes should stay in distinct communities")
+	}
+}
+
+func TestModularityKnownValues(t *testing.T) {
+	// Single community covering K3: Q = 1 - 1 = 0 (all edges intra but
+	// degree term consumes everything).
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	all := Partition{1: 0, 2: 0, 3: 0}
+	if q := Modularity(g, all); q > 1e-9 || q < -1e-9 {
+		t.Fatalf("single-community K3 modularity = %v, want 0", q)
+	}
+	// Each node alone: Q = -Σ(k_i/2m)^2 = -3*(2/6)^2 = -1/3.
+	alone := Partition{1: 0, 2: 1, 3: 2}
+	if q := Modularity(g, alone); q > -0.33 || q < -0.34 {
+		t.Fatalf("singleton modularity = %v, want -1/3", q)
+	}
+}
+
+func TestModularityNoEdges(t *testing.T) {
+	g := graph.New()
+	g.AddNode(1)
+	if q := Modularity(g, Partition{1: 0}); q != 0 {
+		t.Fatalf("edgeless modularity = %v, want 0", q)
+	}
+}
+
+func TestCommunitiesOrdering(t *testing.T) {
+	p := Partition{5: 1, 1: 0, 2: 0, 3: 0, 9: 1, 7: 2}
+	comms := p.Communities()
+	if len(comms) != 3 {
+		t.Fatalf("groups = %d, want 3", len(comms))
+	}
+	if len(comms[0]) != 3 || comms[0][0] != 1 {
+		t.Fatalf("largest group = %v, want [1 2 3]", comms[0])
+	}
+	if len(comms[1]) != 2 || comms[1][0] != 5 {
+		t.Fatalf("second group = %v, want [5 9]", comms[1])
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	n := Neighborhood(g, 1)
+	if len(n) != 3 {
+		t.Fatalf("neighborhood size = %d, want 3", len(n))
+	}
+	for _, u := range []graph.NodeID{1, 2, 3} {
+		if _, ok := n[u]; !ok {
+			t.Fatalf("neighborhood missing %d", u)
+		}
+	}
+	if _, ok := n[4]; ok {
+		t.Fatal("neighborhood should not include 2-hop node 4")
+	}
+}
+
+func TestCanonicalDeterminism(t *testing.T) {
+	g := twoCliques(4)
+	p1 := LabelPropagation(g, rand.New(rand.NewSource(3)), 50)
+	p2 := LabelPropagation(g, rand.New(rand.NewSource(3)), 50)
+	for u, l := range p1 {
+		if p2[u] != l {
+			t.Fatalf("same seed produced different partitions at node %d", u)
+		}
+	}
+}
+
+// Property: label propagation always yields a total partition and
+// modularity stays within [-1, 1].
+func TestPropertyPartitionTotalAndModularityBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 20
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		p := LabelPropagation(g, rng, 30)
+		if len(p) != g.NumNodes() {
+			return false
+		}
+		q := Modularity(g, p)
+		return q >= -1.0001 && q <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy modularity never produces a partition worse than
+// all-singletons (its own starting point).
+func TestPropertyGreedyModularityImproves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		for i := 0; i < 16; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		for i := 0; i < 16; i++ {
+			for j := i + 1; j < 16; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		singletons := make(Partition)
+		for i, u := range g.Nodes() {
+			singletons[u] = i
+		}
+		return Modularity(g, GreedyModularity(g)) >= Modularity(g, singletons)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"scdn/internal/coauthor"
+	"scdn/internal/socialnet"
+)
+
+// CommunityFromSubgraph converts a trust-pruned coauthorship subgraph into
+// the users and edges of an S-CDN community: every author becomes a
+// participant (auto-assigned sites), every coauthorship edge a Coauthor
+// tie weighted by the pair's publication count. Institutional nodes are
+// the top-degree fraction given by institutionalFrac (PIs and labs run
+// always-on servers; students' workstations churn).
+func CommunityFromSubgraph(sub *coauthor.Subgraph, institutionalFrac float64) ([]User, []Edge, error) {
+	if sub == nil || sub.Graph.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("core: empty subgraph")
+	}
+	if institutionalFrac < 0 || institutionalFrac > 1 {
+		return nil, nil, fmt.Errorf("core: institutional fraction %v outside [0,1]", institutionalFrac)
+	}
+	weights := (&coauthor.Corpus{Publications: sub.Pubs}).EdgeWeights()
+
+	nodes := sub.Graph.Nodes()
+	// Top-degree nodes become institutional.
+	byDegree := make([]coauthor.AuthorID, len(nodes))
+	copy(byDegree, nodes)
+	for i := 1; i < len(byDegree); i++ { // insertion sort by degree desc (stable for tests)
+		for j := i; j > 0 && sub.Graph.Degree(byDegree[j]) > sub.Graph.Degree(byDegree[j-1]); j-- {
+			byDegree[j], byDegree[j-1] = byDegree[j-1], byDegree[j]
+		}
+	}
+	instCount := int(float64(len(nodes)) * institutionalFrac)
+	institutional := make(map[coauthor.AuthorID]bool, instCount)
+	for i := 0; i < instCount; i++ {
+		institutional[byDegree[i]] = true
+	}
+
+	users := make([]User, 0, len(nodes))
+	for i, n := range nodes {
+		users = append(users, User{
+			ID:            n,
+			Name:          fmt.Sprintf("author-%d", n),
+			SiteID:        i % 16, // spread over the world-site catalog
+			Institutional: institutional[n],
+		})
+	}
+	var edges []Edge
+	for _, e := range sub.Graph.Edges() {
+		w := float64(weights[coauthor.MakePair(e.U, e.V)])
+		if w == 0 {
+			w = 1
+		}
+		edges = append(edges, Edge{A: e.U, B: e.V, Type: socialnet.Coauthor, Strength: w})
+	}
+	return users, edges, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"scdn/internal/allocation"
+	"scdn/internal/graph"
+	"scdn/internal/storage"
+)
+
+// The paper chooses centralized allocation servers over "a completely
+// decentralized Peer-to-Peer (P2P) architecture ... to enable more
+// efficient discovery of replicas", but keeps P2P as the design
+// alternative. fallbackResolver realizes that alternative as a safety
+// net: when no allocation server is live, a client queries its social
+// neighbourhood (one and two hops — the trust boundary it can reach
+// without a catalog) for an online holder of the dataset.
+
+// fallbackResolver decorates the allocation cluster with social-gossip
+// discovery.
+type fallbackResolver struct{ s *SCDN }
+
+// Resolve tries the cluster first; on total catalog outage it falls back
+// to neighbourhood search.
+func (f fallbackResolver) Resolve(id storage.DatasetID, requester allocation.NodeID) (allocation.Replica, bool, error) {
+	rep, ok, err := f.s.Cluster.Resolve(id, requester)
+	if err == nil {
+		return rep, ok, nil
+	}
+	if !f.s.Config.P2PFallback {
+		return rep, ok, err
+	}
+	return f.s.p2pDiscover(id, requester)
+}
+
+// DatasetBytes serves from the cluster, falling back to the local size
+// registry.
+func (f fallbackResolver) DatasetBytes(id storage.DatasetID) (int64, error) {
+	if b, err := f.s.Cluster.DatasetBytes(id); err == nil {
+		return b, nil
+	} else if !f.s.Config.P2PFallback {
+		return 0, err
+	}
+	if b, ok := f.s.dataset[id]; ok {
+		return b, nil
+	}
+	return 0, fmt.Errorf("core: dataset %q unknown to this node", id)
+}
+
+// Origin serves from the cluster, falling back to the publish-time owner
+// registry.
+func (f fallbackResolver) Origin(id storage.DatasetID) (allocation.NodeID, error) {
+	if o, err := f.s.Cluster.Origin(id); err == nil {
+		return o, nil
+	} else if !f.s.Config.P2PFallback {
+		return 0, err
+	}
+	if o, ok := f.s.owner[id]; ok {
+		return o, nil
+	}
+	return 0, fmt.Errorf("core: dataset %q unknown to this node", id)
+}
+
+// p2pDiscover searches the requester's 1- and 2-hop social neighbourhood
+// for an online repository holding the dataset, nearest (fewest hops,
+// then lowest ID) first. It counts a P2P lookup metric so operators can
+// see the catalog was bypassed.
+func (s *SCDN) p2pDiscover(id storage.DatasetID, requester allocation.NodeID) (allocation.Replica, bool, error) {
+	s.P2PLookups++
+	g := s.Platform.SocialGraph()
+	now := s.Engine.Now().Duration()
+
+	tryNodes := func(nodes []graph.NodeID) (allocation.Replica, bool) {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			p, ok := s.byID[n]
+			if !ok || !p.trace.At(now) {
+				continue
+			}
+			if p.repo.HasLocal(id) {
+				return allocation.Replica{Node: NodeID(n), Site: p.user.SiteID}, true
+			}
+		}
+		return allocation.Replica{}, false
+	}
+
+	oneHop := g.Neighbors(graph.NodeID(requester))
+	if rep, ok := tryNodes(oneHop); ok {
+		return rep, true, nil
+	}
+	// Two hops: neighbours of neighbours, excluding self and 1-hop.
+	seen := map[graph.NodeID]struct{}{graph.NodeID(requester): {}}
+	for _, n := range oneHop {
+		seen[n] = struct{}{}
+	}
+	var twoHop []graph.NodeID
+	for _, n := range oneHop {
+		for _, m := range g.Neighbors(n) {
+			if _, dup := seen[m]; !dup {
+				seen[m] = struct{}{}
+				twoHop = append(twoHop, m)
+			}
+		}
+	}
+	if rep, ok := tryNodes(twoHop); ok {
+		return rep, true, nil
+	}
+	return allocation.Replica{}, false, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"scdn/internal/graph"
+	"scdn/internal/storage"
+)
+
+// UpdateDataset publishes a new version of a dataset from its origin: the
+// owner's copy becomes current and every replica is stale until
+// anti-entropy propagates the update (the My3-style eventual consistency
+// of Section VII's DOSN lineage).
+func (s *SCDN) UpdateDataset(id storage.DatasetID) error {
+	origin, err := s.Cluster.Origin(id)
+	if err != nil {
+		return err
+	}
+	s.Replication.Publish(id, origin, s.Engine.Now().Duration())
+	s.Provenance.RecordUpdated(id, origin, s.Engine.Now().Duration())
+	return nil
+}
+
+// Stale reports whether any replica of the dataset is behind its latest
+// version.
+func (s *SCDN) Stale(id storage.DatasetID) bool {
+	return !s.Replication.Converged(id)
+}
+
+// antiEntropy runs one propagation round: for every dataset with stale
+// holders, each stale holder that is online pulls the update from an
+// online current holder (the delta travels as a transfer sized at
+// DeltaFraction of the dataset).
+func (s *SCDN) antiEntropy() {
+	now := s.Engine.Now().Duration()
+	for _, id := range s.Replication.Datasets() {
+		stale := s.Replication.StaleReplicas(id)
+		if len(stale) == 0 {
+			continue
+		}
+		// Current online holders are the sync sources.
+		var sources []NodeID
+		for _, n := range s.Replication.Holders(id) {
+			if !s.Replication.Stale(id, n) && s.OnlineAt(graph.NodeID(n), now) {
+				sources = append(sources, n)
+			}
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		bytes := s.dataset[id]
+		delta := int64(float64(bytes) * s.deltaFraction())
+		if delta < 1 {
+			delta = 1
+		}
+		for i, n := range stale {
+			if !s.OnlineAt(graph.NodeID(n), now) {
+				continue
+			}
+			src := sources[i%len(sources)]
+			n := n
+			id := id
+			err := (fetcher{s}).Fetch(src, n, delta, func(ok bool, _ time.Duration, _ float64) {
+				if !ok {
+					return
+				}
+				if _, err := s.Replication.Sync(id, src, n, s.Engine.Now().Duration()); err == nil {
+					s.CDN.UpdatePropagations.Inc()
+				}
+			})
+			if err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// deltaFraction is the update-delta size relative to the full dataset.
+func (s *SCDN) deltaFraction() float64 {
+	if s.Config.UpdateDeltaFraction > 0 {
+		return s.Config.UpdateDeltaFraction
+	}
+	return 0.1
+}
+
+// StalenessReport summarizes replica freshness.
+type StalenessReport struct {
+	// Ratio is the fraction of replica copies behind their latest version.
+	Ratio float64
+	// StaleDatasets lists datasets with at least one stale copy.
+	StaleDatasets []storage.DatasetID
+	// MeanConvergenceSeconds averages publish→full-convergence delays.
+	MeanConvergenceSeconds float64
+	// Propagations is the number of successful update deliveries.
+	Propagations uint64
+}
+
+// Staleness returns the current replication freshness summary.
+func (s *SCDN) Staleness() StalenessReport {
+	rep := StalenessReport{
+		Ratio:        s.Replication.StalenessRatio(),
+		Propagations: s.CDN.UpdatePropagations.Value(),
+	}
+	for _, id := range s.Replication.Datasets() {
+		if !s.Replication.Converged(id) {
+			rep.StaleDatasets = append(rep.StaleDatasets, id)
+		}
+	}
+	if n := len(s.Replication.ConvergenceDelay); n > 0 {
+		sum := 0.0
+		for _, d := range s.Replication.ConvergenceDelay {
+			sum += d
+		}
+		rep.MeanConvergenceSeconds = sum / float64(n)
+	}
+	return rep
+}
+
+// validateReplicationWiring is a defensive check used by tests: every
+// catalog replica must be tracked and vice versa.
+func (s *SCDN) validateReplicationWiring() error {
+	ids, err := s.Cluster.Datasets()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		catalog := make(map[NodeID]struct{})
+		reps, err := s.Cluster.Replicas(id)
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			catalog[r.Node] = struct{}{}
+		}
+		tracked := s.Replication.Holders(id)
+		if len(tracked) != len(catalog) {
+			return fmt.Errorf("core: dataset %q tracks %d holders, catalog has %d",
+				id, len(tracked), len(catalog))
+		}
+		for _, n := range tracked {
+			if _, ok := catalog[n]; !ok {
+				return fmt.Errorf("core: dataset %q tracks non-catalog holder %d", id, n)
+			}
+		}
+	}
+	return nil
+}

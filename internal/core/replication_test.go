@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpdatePropagation(t *testing.T) {
+	s := newSystem(t)
+	if err := s.PublishDataset(1, "d", 10e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplicas("d", 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Hour)
+	if err := s.validateReplicationWiring(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stale("d") {
+		t.Fatal("fresh replicas should be current")
+	}
+	// The owner publishes a new version.
+	if err := s.UpdateDataset("d"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stale("d") {
+		t.Fatal("replicas should be stale after an update")
+	}
+	// Anti-entropy rounds (2h default) propagate the update.
+	s.Run(10 * time.Hour)
+	if s.Stale("d") {
+		t.Fatalf("update did not converge: %+v", s.Staleness())
+	}
+	rep := s.Staleness()
+	if rep.Propagations == 0 {
+		t.Fatal("no propagations recorded")
+	}
+	if rep.Ratio != 0 {
+		t.Fatalf("staleness ratio = %v", rep.Ratio)
+	}
+	if rep.MeanConvergenceSeconds <= 0 {
+		t.Fatalf("convergence delay = %v", rep.MeanConvergenceSeconds)
+	}
+}
+
+func TestUpdateUnknownDataset(t *testing.T) {
+	s := newSystem(t)
+	if err := s.UpdateDataset("ghost"); err == nil {
+		t.Fatal("unknown dataset updated")
+	}
+}
+
+func TestStalenessSampled(t *testing.T) {
+	s := newSystem(t)
+	s.PublishDataset(1, "d", 1e6)
+	s.PlaceReplicas("d", 2)
+	s.Run(2 * time.Hour)
+	s.UpdateDataset("d")
+	s.Run(3 * time.Hour)
+	if s.CDN.StalenessSamples.Count() == 0 {
+		t.Fatal("no staleness samples")
+	}
+}
+
+func TestAntiEntropyWaitsForChurnedNodes(t *testing.T) {
+	// With churn, offline holders cannot sync; they converge after they
+	// come back. We only assert the system never syncs an offline node
+	// inconsistently and that the wiring stays valid throughout.
+	users, edges := mixedCommunity()
+	cfg := DefaultConfig(23)
+	cfg.Churn = true
+	cfg.AntiEntropyInterval = time.Hour
+	s, err := New(cfg, users, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PublishDataset(1, "d", 5e6)
+	s.PlaceReplicas("d", 3)
+	s.Run(2 * time.Hour)
+	s.UpdateDataset("d")
+	s.Run(72 * time.Hour)
+	if err := s.validateReplicationWiring(); err != nil {
+		t.Fatal(err)
+	}
+	// Over three days every holder should have seen an online overlap
+	// with a current holder.
+	if s.Stale("d") {
+		t.Fatalf("72h of anti-entropy did not converge: %+v", s.Staleness())
+	}
+}

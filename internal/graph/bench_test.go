@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a case-study-sized random graph (~2000 nodes, ~20000
+// edges) once per benchmark.
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := New()
+	n := 2000
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	for e := 0; e < 20000; e++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+func BenchmarkBFSFrom(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFSFrom(NodeID(i % 2000))
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ConnectedComponents()
+	}
+}
+
+func BenchmarkClusteringScores(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ClusteringScores()
+	}
+}
+
+func BenchmarkBetweenness(b *testing.B) {
+	// Betweenness is O(VE); use a smaller instance.
+	rng := rand.New(rand.NewSource(2))
+	g := New()
+	for i := 0; i < 300; i++ {
+		g.AddNode(NodeID(i))
+	}
+	for e := 0; e < 3000; e++ {
+		g.AddEdge(NodeID(rng.Intn(300)), NodeID(rng.Intn(300)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Betweenness()
+	}
+}
+
+func BenchmarkKHopEgo(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.KHopEgo(NodeID(i%2000), 3)
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	g := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(NodeID(i%5000), NodeID((i*7)%5000))
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import "sort"
+
+// Betweenness computes betweenness centrality for every node using
+// Brandes' algorithm (unweighted). Scores are unnormalized shortest-path
+// pair counts; relative order is what the placement algorithms consume.
+func (g *Graph) Betweenness() map[NodeID]float64 {
+	cb := make(map[NodeID]float64, len(g.adj))
+	nodes := g.Nodes()
+	for _, u := range nodes {
+		cb[u] = 0
+	}
+	// Reusable per-source state.
+	sigma := make(map[NodeID]float64, len(nodes))
+	dist := make(map[NodeID]int, len(nodes))
+	delta := make(map[NodeID]float64, len(nodes))
+	preds := make(map[NodeID][]NodeID, len(nodes))
+
+	for _, s := range nodes {
+		// Single-source shortest paths (BFS).
+		var stack []NodeID
+		for _, u := range nodes {
+			sigma[u] = 0
+			dist[u] = -1
+			delta[u] = 0
+			preds[u] = preds[u][:0]
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue := []NodeID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Accumulation in reverse BFS order.
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Each undirected pair was counted twice.
+	for u := range cb {
+		cb[u] /= 2
+	}
+	return cb
+}
+
+// Closeness computes closeness centrality for every node: for node u with
+// reachable set R(u), closeness = (|R(u)|-1) / sum of distances to R(u),
+// scaled by (|R(u)|-1)/(N-1) (the Wasserman–Faust correction) so values
+// remain comparable across components. Isolated nodes score 0.
+func (g *Graph) Closeness() map[NodeID]float64 {
+	n := len(g.adj)
+	cc := make(map[NodeID]float64, n)
+	for u := range g.adj {
+		dist := g.BFSFrom(u)
+		sum := 0
+		for _, d := range dist {
+			sum += d
+		}
+		reach := len(dist) - 1 // excluding u itself
+		if reach <= 0 || sum == 0 {
+			cc[u] = 0
+			continue
+		}
+		base := float64(reach) / float64(sum)
+		if n > 1 {
+			base *= float64(reach) / float64(n-1)
+		}
+		cc[u] = base
+	}
+	return cc
+}
+
+// RankedScore is a node paired with a metric value, used when returning
+// ordered centrality results.
+type RankedScore struct {
+	Node  NodeID
+	Score float64
+}
+
+// RankByScore converts a node→score map into a slice sorted by descending
+// score, breaking ties by ascending node ID for determinism.
+func RankByScore(scores map[NodeID]float64) []RankedScore {
+	out := make([]RankedScore, 0, len(scores))
+	for u, s := range scores {
+		out = append(out, RankedScore{u, s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// DegreeScores returns a node→degree map as float64 scores.
+func (g *Graph) DegreeScores() map[NodeID]float64 {
+	s := make(map[NodeID]float64, len(g.adj))
+	for u, nbrs := range g.adj {
+		s[u] = float64(len(nbrs))
+	}
+	return s
+}
+
+// ClusteringScores returns a node→local-clustering-coefficient map.
+func (g *Graph) ClusteringScores() map[NodeID]float64 {
+	s := make(map[NodeID]float64, len(g.adj))
+	for u := range g.adj {
+		s[u] = g.ClusteringCoefficient(u)
+	}
+	return s
+}

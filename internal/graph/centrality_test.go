@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: betweenness of node i (unnormalized, undirected pairs)
+	// is (#pairs whose shortest path passes through i). For a path of n
+	// nodes, node i has i*(n-1-i) such pairs.
+	g := path(5)
+	bc := g.Betweenness()
+	want := map[NodeID]float64{0: 0, 1: 3, 2: 4, 3: 3, 4: 0}
+	for u, w := range want {
+		if math.Abs(bc[u]-w) > 1e-9 {
+			t.Errorf("betweenness[%d] = %v, want %v", u, bc[u], w)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with hub 0 and 4 leaves: hub lies on all C(4,2)=6 leaf pairs.
+	bc := star(4).Betweenness()
+	if math.Abs(bc[0]-6) > 1e-9 {
+		t.Fatalf("hub betweenness = %v, want 6", bc[0])
+	}
+	for i := 1; i <= 4; i++ {
+		if bc[NodeID(i)] != 0 {
+			t.Fatalf("leaf betweenness = %v, want 0", bc[NodeID(i)])
+		}
+	}
+}
+
+func TestBetweennessComplete(t *testing.T) {
+	// In K_n no node is interior to any shortest path.
+	for u, b := range complete(5).Betweenness() {
+		if b != 0 {
+			t.Fatalf("K5 betweenness[%d] = %v, want 0", u, b)
+		}
+	}
+}
+
+func TestClosenessPath(t *testing.T) {
+	// Path 0-1-2: closeness(1) = 2/2 = 1 (center), closeness(0) = 2/3.
+	cc := path(3).Closeness()
+	if math.Abs(cc[1]-1) > 1e-9 {
+		t.Fatalf("closeness[1] = %v, want 1", cc[1])
+	}
+	if math.Abs(cc[0]-2.0/3.0) > 1e-9 {
+		t.Fatalf("closeness[0] = %v, want 2/3", cc[0])
+	}
+}
+
+func TestClosenessIsolated(t *testing.T) {
+	g := New()
+	g.AddNode(7)
+	g.AddEdge(1, 2)
+	cc := g.Closeness()
+	if cc[7] != 0 {
+		t.Fatalf("isolated closeness = %v, want 0", cc[7])
+	}
+	if cc[1] == 0 {
+		t.Fatal("connected node closeness should be > 0")
+	}
+}
+
+func TestClosenessComponentCorrection(t *testing.T) {
+	// Two K2 components in a 4-node graph: each node reaches 1 node at
+	// distance 1 → base 1, corrected by (1/3): closeness = 1/3.
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	cc := g.Closeness()
+	for u, c := range cc {
+		if math.Abs(c-1.0/3.0) > 1e-9 {
+			t.Fatalf("closeness[%d] = %v, want 1/3", u, c)
+		}
+	}
+}
+
+func TestRankByScoreDeterministicTies(t *testing.T) {
+	scores := map[NodeID]float64{5: 1, 3: 1, 9: 2, 1: 1}
+	r := RankByScore(scores)
+	if r[0].Node != 9 {
+		t.Fatalf("top = %d, want 9", r[0].Node)
+	}
+	if r[1].Node != 1 || r[2].Node != 3 || r[3].Node != 5 {
+		t.Fatalf("tie order = %v, want ascending IDs", r)
+	}
+}
+
+func TestDegreeScoresMatchDegree(t *testing.T) {
+	g := randomGraph(15, 0.3, 7)
+	for u, s := range g.DegreeScores() {
+		if int(s) != g.Degree(u) {
+			t.Fatalf("score %v != degree %d for %d", s, g.Degree(u), u)
+		}
+	}
+}
+
+func TestClusteringScoresMatch(t *testing.T) {
+	g := randomGraph(15, 0.4, 11)
+	for u, s := range g.ClusteringScores() {
+		if math.Abs(s-g.ClusteringCoefficient(u)) > 1e-12 {
+			t.Fatalf("clustering score mismatch for %d", u)
+		}
+	}
+}
+
+// Property: betweenness is non-negative and leaves (degree 1) score 0.
+func TestPropertyBetweennessNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(18, 0.15, seed)
+		for u, b := range g.Betweenness() {
+			if b < 0 {
+				return false
+			}
+			if g.Degree(u) == 1 && b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total betweenness equals the number of ordered interior
+// visits; for a tree it equals sum over pairs of (path length - 1).
+func TestPropertyBetweennessPathSum(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		g := path(n)
+		total := 0.0
+		for _, b := range g.Betweenness() {
+			total += b
+		}
+		want := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want += float64(j - i - 1)
+			}
+		}
+		return math.Abs(total-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, DOTOptions{
+		Name:         "fig2",
+		Highlight:    2,
+		HasHighlight: true,
+		NodeLabels:   map[NodeID]string{1: "seed"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"graph fig2 {",
+		`n1 [label="seed"]`,
+		"n2 [color=red, style=filled];",
+		"n1 -- n2 [color=red];",
+		"n2 -- n3 [color=red];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "graph G {") {
+		t.Fatalf("default name not applied:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "color=red") {
+		t.Fatal("no highlight requested but red attrs emitted")
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import "sort"
+
+// ArticulationPoints returns the nodes whose removal would disconnect
+// their component (Tarjan's low-link algorithm, iterative). In an S-CDN
+// these are the researchers whose departure would partition the
+// collaboration overlay — prime candidates for extra redundancy.
+func (g *Graph) ArticulationPoints() []NodeID {
+	disc := make(map[NodeID]int, len(g.adj))
+	low := make(map[NodeID]int, len(g.adj))
+	parent := make(map[NodeID]NodeID, len(g.adj))
+	isCut := make(map[NodeID]bool)
+	timer := 0
+
+	type frame struct {
+		node NodeID
+		nbrs []NodeID
+		next int
+	}
+
+	for _, start := range g.Nodes() {
+		if _, seen := disc[start]; seen {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{node: start, nbrs: g.Neighbors(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.nbrs) {
+				v := f.nbrs[f.next]
+				f.next++
+				if _, seen := disc[v]; !seen {
+					parent[v] = f.node
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v, nbrs: g.Neighbors(v)})
+				} else if p, hasP := parent[f.node]; !hasP || v != p {
+					if disc[v] < low[f.node] {
+						low[f.node] = disc[v]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent and apply the
+			// cut-vertex rule for non-root parents.
+			popped := *f
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				pf := &stack[len(stack)-1]
+				if low[popped.node] < low[pf.node] {
+					low[pf.node] = low[popped.node]
+				}
+				if pf.node != start && low[popped.node] >= disc[pf.node] {
+					isCut[pf.node] = true
+				}
+			}
+		}
+		// Root rule: a DFS root is a cut vertex iff it has >= 2 children.
+		rootChildren := 0
+		for v, p := range parent {
+			if p == start {
+				_ = v
+				rootChildren++
+			}
+		}
+		if rootChildren >= 2 {
+			isCut[start] = true
+		}
+	}
+	out := make([]NodeID, 0, len(isCut))
+	for u, cut := range isCut {
+		if cut {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bridges returns the edges whose removal would disconnect their
+// component, normalized (U < V) and sorted.
+func (g *Graph) Bridges() []Edge {
+	disc := make(map[NodeID]int, len(g.adj))
+	low := make(map[NodeID]int, len(g.adj))
+	var bridges []Edge
+	timer := 0
+
+	type frame struct {
+		node   NodeID
+		parent NodeID
+		hasPar bool
+		nbrs   []NodeID
+		next   int
+		// skippedParent handles parallel-free simple graphs: the single
+		// tree edge back to the parent is skipped exactly once.
+		skippedParent bool
+	}
+
+	for _, start := range g.Nodes() {
+		if _, seen := disc[start]; seen {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{node: start, nbrs: g.Neighbors(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.nbrs) {
+				v := f.nbrs[f.next]
+				f.next++
+				if f.hasPar && v == f.parent && !f.skippedParent {
+					f.skippedParent = true
+					continue
+				}
+				if _, seen := disc[v]; !seen {
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v, parent: f.node, hasPar: true, nbrs: g.Neighbors(v)})
+				} else if disc[v] < low[f.node] {
+					low[f.node] = disc[v]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				pf := &stack[len(stack)-1]
+				if low[f.node] < low[pf.node] {
+					low[pf.node] = low[f.node]
+				}
+				if low[f.node] > disc[pf.node] {
+					u, v := pf.node, f.node
+					if u > v {
+						u, v = v, u
+					}
+					bridges = append(bridges, Edge{U: u, V: v})
+				}
+			}
+		}
+	}
+	sort.Slice(bridges, func(i, j int) bool {
+		if bridges[i].U != bridges[j].U {
+			return bridges[i].U < bridges[j].U
+		}
+		return bridges[i].V < bridges[j].V
+	})
+	return bridges
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArticulationPointsPath(t *testing.T) {
+	// Path 0-1-2-3-4: every interior node is a cut vertex.
+	aps := path(5).ArticulationPoints()
+	if len(aps) != 3 || aps[0] != 1 || aps[1] != 2 || aps[2] != 3 {
+		t.Fatalf("articulation points = %v, want [1 2 3]", aps)
+	}
+}
+
+func TestArticulationPointsCycleHasNone(t *testing.T) {
+	g := path(5)
+	g.AddEdge(0, 4) // close the cycle
+	if aps := g.ArticulationPoints(); len(aps) != 0 {
+		t.Fatalf("cycle has cut vertices: %v", aps)
+	}
+}
+
+func TestArticulationPointsStarHub(t *testing.T) {
+	aps := star(5).ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 0 {
+		t.Fatalf("star cut vertices = %v, want [0]", aps)
+	}
+}
+
+func TestArticulationPointsBridgedCliques(t *testing.T) {
+	// Two triangles joined through node 10: 10 is the only cut vertex...
+	// connect via edges (2,10) and (10,20).
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(20, 21)
+	g.AddEdge(21, 22)
+	g.AddEdge(20, 22)
+	g.AddEdge(2, 10)
+	g.AddEdge(10, 20)
+	aps := g.ArticulationPoints()
+	want := map[NodeID]bool{2: true, 10: true, 20: true}
+	if len(aps) != 3 {
+		t.Fatalf("cut vertices = %v, want {2,10,20}", aps)
+	}
+	for _, u := range aps {
+		if !want[u] {
+			t.Fatalf("unexpected cut vertex %d", u)
+		}
+	}
+}
+
+func TestArticulationPointsMultiComponent(t *testing.T) {
+	g := path(3) // 1 is a cut vertex
+	g.AddEdge(10, 11)
+	g.AddEdge(11, 12)
+	g.AddEdge(10, 12) // triangle: none
+	aps := g.ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 1 {
+		t.Fatalf("multi-component cut vertices = %v, want [1]", aps)
+	}
+}
+
+func TestBridgesPath(t *testing.T) {
+	bs := path(4).Bridges()
+	if len(bs) != 3 {
+		t.Fatalf("bridges = %v, want every path edge", bs)
+	}
+}
+
+func TestBridgesCycleHasNone(t *testing.T) {
+	g := path(5)
+	g.AddEdge(0, 4)
+	if bs := g.Bridges(); len(bs) != 0 {
+		t.Fatalf("cycle has bridges: %v", bs)
+	}
+}
+
+func TestBridgesBridgedCliques(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 10) // bridge
+	g.AddEdge(10, 11)
+	g.AddEdge(11, 12)
+	g.AddEdge(10, 12)
+	bs := g.Bridges()
+	if len(bs) != 1 || bs[0] != (Edge{2, 10}) {
+		t.Fatalf("bridges = %v, want [(2,10)]", bs)
+	}
+}
+
+// brute-force reference: u is a cut vertex iff removing it increases the
+// component count among the remaining nodes of its component.
+func bruteArticulation(g *Graph) map[NodeID]bool {
+	out := make(map[NodeID]bool)
+	base := len(g.ConnectedComponents())
+	for _, u := range g.Nodes() {
+		c := g.Clone()
+		c.RemoveNode(u)
+		// Removing an isolated node reduces node count but not
+		// connectivity; compare component counts ignoring the removed
+		// node itself.
+		if len(c.ConnectedComponents()) > base-1+boolToInt(g.Degree(u) > 0) {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestPropertyArticulationMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 14
+		for i := 0; i < n; i++ {
+			g.AddNode(NodeID(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.18 {
+					g.AddEdge(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		want := bruteArticulation(g)
+		got := g.ArticulationPoints()
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		for _, u := range got {
+			if !want[u] {
+				t.Logf("seed %d: spurious cut vertex %d", seed, u)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a bridge increases the component count; removing a
+// non-bridge edge never does.
+func TestPropertyBridgesMatchDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 12
+		for i := 0; i < n; i++ {
+			g.AddNode(NodeID(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		bridgeSet := make(map[Edge]bool)
+		for _, b := range g.Bridges() {
+			bridgeSet[b] = true
+		}
+		base := len(g.ConnectedComponents())
+		for _, e := range g.Edges() {
+			c := g.Clone()
+			c.RemoveEdge(e.U, e.V)
+			increases := len(c.ConnectedComponents()) > base
+			if increases != bridgeSet[e] {
+				t.Logf("seed %d: edge %v bridge=%v increases=%v", seed, e, bridgeSet[e], increases)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

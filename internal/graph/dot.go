@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// DOTOptions controls DOT export. Highlight marks a node (the paper's Fig. 2
+// marks the seed author red) and HighlightEdges marks that node's incident
+// edges, matching the figure's red first-degree edges.
+type DOTOptions struct {
+	Name           string // graph name; defaults to "G"
+	Highlight      NodeID // node to emphasize
+	HasHighlight   bool   // whether Highlight is set
+	NodeLabels     map[NodeID]string
+	HighlightColor string // defaults to "red"
+}
+
+// WriteDOT serializes the graph in Graphviz DOT format. Output is
+// deterministic: nodes and edges are emitted in sorted order.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	color := opts.HighlightColor
+	if color == "" {
+		color = "red"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for _, u := range g.Nodes() {
+		attrs := ""
+		if label, ok := opts.NodeLabels[u]; ok {
+			attrs = fmt.Sprintf(" [label=%q]", label)
+		}
+		if opts.HasHighlight && u == opts.Highlight {
+			if attrs == "" {
+				attrs = fmt.Sprintf(" [color=%s, style=filled]", color)
+			} else {
+				attrs = attrs[:len(attrs)-1] + fmt.Sprintf(", color=%s, style=filled]", color)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d%s;\n", u, attrs); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		attrs := ""
+		if opts.HasHighlight && (e.U == opts.Highlight || e.V == opts.Highlight) {
+			attrs = fmt.Sprintf(" [color=%s]", color)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d%s;\n", e.U, e.V, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,121 @@
+// Package middleware is the paper's Social Middleware (Section V-C): the
+// layer between users and the S-CDN that authenticates through the social
+// network platform, enforces group-scoped authorization on datasets, and
+// extracts the social properties (graph, profiles) the CDN algorithms
+// consume.
+package middleware
+
+import (
+	"fmt"
+	"time"
+
+	"scdn/internal/graph"
+	"scdn/internal/socialnet"
+	"scdn/internal/storage"
+)
+
+// Clock supplies the current time for token validation; simulations pass
+// virtual time.
+type Clock func() time.Duration
+
+// Middleware bridges the social platform and the CDN.
+type Middleware struct {
+	platform *socialnet.Platform
+	clock    Clock
+	// TokenTTL is the session lifetime for Login.
+	TokenTTL time.Duration
+	// datasetGroup scopes each dataset to the collaboration group whose
+	// members may access it.
+	datasetGroup map[storage.DatasetID]string
+	// denied counts rejected authorization checks (Section V-E inputs).
+	denied uint64
+}
+
+// New creates a middleware over a platform. clock must be non-nil.
+func New(platform *socialnet.Platform, clock Clock) *Middleware {
+	if clock == nil {
+		panic("middleware: nil clock")
+	}
+	return &Middleware{
+		platform:     platform,
+		clock:        clock,
+		TokenTTL:     8 * time.Hour,
+		datasetGroup: make(map[storage.DatasetID]string),
+	}
+}
+
+// Login authenticates a user through the social network and returns a
+// session token (the paper: "it uses the credentials of the social
+// network platform").
+func (m *Middleware) Login(user socialnet.UserID) (socialnet.Token, error) {
+	if _, err := m.platform.ProfileOf(user); err != nil {
+		return "", fmt.Errorf("middleware: login: %w", err)
+	}
+	return m.platform.Auth().Issue(user, m.clock(), m.TokenTTL)
+}
+
+// Authenticate resolves a token to its user.
+func (m *Middleware) Authenticate(tok socialnet.Token) (socialnet.UserID, error) {
+	return m.platform.Auth().Validate(tok, m.clock())
+}
+
+// RegisterDataset scopes a dataset to a collaboration group. Registering
+// an already-scoped dataset to a different group is an error (data must
+// not silently change trust boundaries).
+func (m *Middleware) RegisterDataset(id storage.DatasetID, group string) error {
+	if g, ok := m.datasetGroup[id]; ok && g != group {
+		return fmt.Errorf("middleware: dataset %q already scoped to group %q", id, g)
+	}
+	m.platform.CreateGroup(group)
+	m.datasetGroup[id] = group
+	return nil
+}
+
+// DatasetGroup returns the group a dataset is scoped to.
+func (m *Middleware) DatasetGroup(id storage.DatasetID) (string, bool) {
+	g, ok := m.datasetGroup[id]
+	return g, ok
+}
+
+// Authorize checks that the token's user may access the dataset: the user
+// must belong to the dataset's group. Unscoped datasets are denied —
+// data never flows outside an explicit trust boundary.
+func (m *Middleware) Authorize(tok socialnet.Token, id storage.DatasetID) (socialnet.UserID, error) {
+	user, err := m.Authenticate(tok)
+	if err != nil {
+		m.denied++
+		return 0, err
+	}
+	group, ok := m.datasetGroup[id]
+	if !ok {
+		m.denied++
+		return 0, fmt.Errorf("middleware: dataset %q is not registered with any group", id)
+	}
+	if !m.platform.InGroup(group, user) {
+		m.denied++
+		return 0, fmt.Errorf("middleware: user %d is not a member of group %q", user, group)
+	}
+	return user, nil
+}
+
+// Denied returns the number of rejected authorization attempts.
+func (m *Middleware) Denied() uint64 { return m.denied }
+
+// GroupGraph returns the social graph restricted to the dataset's group —
+// the overlay the allocation servers place replicas on.
+func (m *Middleware) GroupGraph(id storage.DatasetID) (*graph.Graph, error) {
+	group, ok := m.datasetGroup[id]
+	if !ok {
+		return nil, fmt.Errorf("middleware: dataset %q is not registered with any group", id)
+	}
+	return m.platform.GroupGraph(group), nil
+}
+
+// SiteOf returns a user's home site from their profile.
+func (m *Middleware) SiteOf(user socialnet.UserID) (int, error) {
+	prof, err := m.platform.ProfileOf(user)
+	if err != nil {
+		return 0, err
+	}
+	return prof.SiteID, nil
+}

@@ -1,0 +1,124 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"scdn/internal/socialnet"
+)
+
+func setup(t *testing.T) (*Middleware, *socialnet.Platform, *time.Duration) {
+	t.Helper()
+	p := socialnet.New(1)
+	for i := socialnet.UserID(1); i <= 4; i++ {
+		if err := p.Register(i, socialnet.Profile{Name: "u", SiteID: int(i) * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := new(time.Duration)
+	m := New(p, func() time.Duration { return *now })
+	return m, p, now
+}
+
+func TestLoginUnknownUser(t *testing.T) {
+	m, _, _ := setup(t)
+	if _, err := m.Login(99); err == nil {
+		t.Fatal("unknown user logged in")
+	}
+}
+
+func TestLoginAndAuthenticate(t *testing.T) {
+	m, _, now := setup(t)
+	tok, err := m.Login(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := m.Authenticate(tok)
+	if err != nil || user != 1 {
+		t.Fatalf("authenticate = %d, %v", user, err)
+	}
+	*now = 9 * time.Hour // past TTL
+	if _, err := m.Authenticate(tok); err == nil {
+		t.Fatal("expired token authenticated")
+	}
+}
+
+func TestRegisterDatasetConflict(t *testing.T) {
+	m, _, _ := setup(t)
+	if err := m.RegisterDataset("d1", "trial"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterDataset("d1", "trial"); err != nil {
+		t.Fatal("idempotent re-registration rejected")
+	}
+	if err := m.RegisterDataset("d1", "other"); err == nil {
+		t.Fatal("group change accepted")
+	}
+	g, ok := m.DatasetGroup("d1")
+	if !ok || g != "trial" {
+		t.Fatalf("group = %q, %v", g, ok)
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	m, p, _ := setup(t)
+	m.RegisterDataset("d1", "trial")
+	p.JoinGroup("trial", 1)
+	tok1, _ := m.Login(1)
+	tok2, _ := m.Login(2)
+
+	if user, err := m.Authorize(tok1, "d1"); err != nil || user != 1 {
+		t.Fatalf("member denied: %d, %v", user, err)
+	}
+	if _, err := m.Authorize(tok2, "d1"); err == nil {
+		t.Fatal("non-member authorized")
+	}
+	if _, err := m.Authorize(tok1, "unscoped"); err == nil {
+		t.Fatal("unscoped dataset authorized")
+	}
+	if _, err := m.Authorize("bogus", "d1"); err == nil {
+		t.Fatal("bogus token authorized")
+	}
+	if m.Denied() != 3 {
+		t.Fatalf("denied = %d, want 3", m.Denied())
+	}
+}
+
+func TestGroupGraph(t *testing.T) {
+	m, p, _ := setup(t)
+	m.RegisterDataset("d1", "trial")
+	p.JoinGroup("trial", 1)
+	p.JoinGroup("trial", 2)
+	p.Connect(1, 2, socialnet.Coauthor, 1)
+	p.Connect(1, 3, socialnet.Coauthor, 1) // 3 not in group
+	g, err := m.GroupGraph("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("group graph = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if _, err := m.GroupGraph("unscoped"); err == nil {
+		t.Fatal("unscoped dataset produced graph")
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	m, _, _ := setup(t)
+	site, err := m.SiteOf(3)
+	if err != nil || site != 30 {
+		t.Fatalf("site = %d, %v", site, err)
+	}
+	if _, err := m.SiteOf(99); err == nil {
+		t.Fatal("unknown user's site resolved")
+	}
+}
+
+func TestNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(socialnet.New(1), nil)
+}

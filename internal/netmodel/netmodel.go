@@ -1,0 +1,204 @@
+// Package netmodel models the wide-area network between S-CDN sites:
+// geographic coordinates, propagation latency, and path bandwidth. It is
+// the substrate the transfer engine runs on, replacing the paper's
+// physical testbed with a parameterized synthetic internet.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Site is a geographic location hosting one or more storage repositories.
+type Site struct {
+	ID   int
+	Name string
+	// Lat/Lon in degrees.
+	Lat, Lon float64
+	// UplinkMbps / DownlinkMbps bound the site's access link.
+	UplinkMbps, DownlinkMbps float64
+	// TimeZoneOffset shifts the site's diurnal availability pattern,
+	// in hours relative to UTC.
+	TimeZoneOffset int
+}
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance between two sites.
+func HaversineKm(a, b *Site) float64 {
+	lat1, lon1 := a.Lat*math.Pi/180, a.Lon*math.Pi/180
+	lat2, lon2 := b.Lat*math.Pi/180, b.Lon*math.Pi/180
+	dLat, dLon := lat2-lat1, lon2-lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Network models pairwise latency and bandwidth between sites.
+type Network struct {
+	sites map[int]*Site
+	// BackboneMbps caps any single flow regardless of access links.
+	BackboneMbps float64
+	// RTTFloor is the minimum round-trip time (processing overheads).
+	RTTFloor time.Duration
+	rng      *rand.Rand
+	// JitterFrac randomizes per-query latency by ±frac.
+	JitterFrac float64
+}
+
+// NewNetwork creates an empty network. Seed drives jitter.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		sites:        make(map[int]*Site),
+		BackboneMbps: 10000,
+		RTTFloor:     2 * time.Millisecond,
+		JitterFrac:   0.1,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddSite registers a site. Adding a duplicate ID returns an error.
+func (n *Network) AddSite(s *Site) error {
+	if _, dup := n.sites[s.ID]; dup {
+		return fmt.Errorf("netmodel: duplicate site %d", s.ID)
+	}
+	if s.UplinkMbps <= 0 || s.DownlinkMbps <= 0 {
+		return fmt.Errorf("netmodel: site %d has non-positive link capacity", s.ID)
+	}
+	n.sites[s.ID] = s
+	return nil
+}
+
+// Site returns a registered site.
+func (n *Network) Site(id int) (*Site, bool) {
+	s, ok := n.sites[id]
+	return s, ok
+}
+
+// NumSites returns the registered site count.
+func (n *Network) NumSites() int { return len(n.sites) }
+
+// RTT estimates the round-trip time between two sites: a propagation term
+// (speed of light in fibre ≈ 2/3 c, doubled for round trip, with a 1.5×
+// path-stretch factor) plus the RTT floor, with multiplicative jitter.
+func (n *Network) RTT(a, b int) (time.Duration, error) {
+	sa, ok := n.sites[a]
+	if !ok {
+		return 0, fmt.Errorf("netmodel: unknown site %d", a)
+	}
+	sb, ok := n.sites[b]
+	if !ok {
+		return 0, fmt.Errorf("netmodel: unknown site %d", b)
+	}
+	km := HaversineKm(sa, sb)
+	const fibreKmPerMs = 200.0 // ~2/3 speed of light
+	oneWay := time.Duration(km * 1.5 / fibreKmPerMs * float64(time.Millisecond))
+	rtt := 2*oneWay + n.RTTFloor
+	if n.JitterFrac > 0 {
+		j := 1 + n.JitterFrac*(2*n.rng.Float64()-1)
+		rtt = time.Duration(float64(rtt) * j)
+	}
+	return rtt, nil
+}
+
+// PathMbps returns the bottleneck bandwidth of a single flow from src to
+// dst: min(src uplink, dst downlink, backbone).
+func (n *Network) PathMbps(src, dst int) (float64, error) {
+	ss, ok := n.sites[src]
+	if !ok {
+		return 0, fmt.Errorf("netmodel: unknown site %d", src)
+	}
+	sd, ok := n.sites[dst]
+	if !ok {
+		return 0, fmt.Errorf("netmodel: unknown site %d", dst)
+	}
+	bw := ss.UplinkMbps
+	if sd.DownlinkMbps < bw {
+		bw = sd.DownlinkMbps
+	}
+	if n.BackboneMbps < bw {
+		bw = n.BackboneMbps
+	}
+	return bw, nil
+}
+
+// TransferTime estimates moving `bytes` from src to dst at the path's
+// bottleneck bandwidth shared among `flows` concurrent flows, plus one RTT
+// of setup.
+func (n *Network) TransferTime(src, dst int, bytes int64, flows int) (time.Duration, error) {
+	if flows < 1 {
+		flows = 1
+	}
+	bw, err := n.PathMbps(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	rtt, err := n.RTT(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	bits := float64(bytes) * 8
+	seconds := bits / (bw / float64(flows) * 1e6)
+	return rtt + time.Duration(seconds*float64(time.Second)), nil
+}
+
+// SiteSpec abbreviates site construction for generators.
+type SiteSpec struct {
+	Name     string
+	Lat, Lon float64
+	TZ       int
+}
+
+// WorldSites is a set of research-site locations used by the synthetic
+// community generator (universities and labs across continents).
+var WorldSites = []SiteSpec{
+	{"chicago", 41.9, -87.6, -6},
+	{"argonne", 41.7, -87.9, -6},
+	{"new-york", 40.7, -74.0, -5},
+	{"berkeley", 37.9, -122.3, -8},
+	{"seattle", 47.6, -122.3, -8},
+	{"austin", 30.3, -97.7, -6},
+	{"london", 51.5, -0.1, 0},
+	{"cardiff", 51.5, -3.2, 0},
+	{"karlsruhe", 49.0, 8.4, 1},
+	{"zurich", 47.4, 8.5, 1},
+	{"barcelona", 41.4, 2.2, 1},
+	{"amsterdam", 52.4, 4.9, 1},
+	{"tokyo", 35.7, 139.7, 9},
+	{"beijing", 39.9, 116.4, 8},
+	{"melbourne", -37.8, 145.0, 10},
+	{"sao-paulo", -23.5, -46.6, -3},
+}
+
+// GenerateSites creates n sites cycling through WorldSites with randomized
+// access-link capacities in [minMbps, maxMbps], registered on a fresh
+// Network.
+func GenerateSites(n int, seed int64, minMbps, maxMbps float64) (*Network, []*Site, error) {
+	if minMbps <= 0 || maxMbps < minMbps {
+		return nil, nil, fmt.Errorf("netmodel: invalid capacity range [%v, %v]", minMbps, maxMbps)
+	}
+	net := NewNetwork(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	sites := make([]*Site, 0, n)
+	for i := 0; i < n; i++ {
+		spec := WorldSites[i%len(WorldSites)]
+		s := &Site{
+			ID:   i,
+			Name: fmt.Sprintf("%s-%d", spec.Name, i/len(WorldSites)),
+			// Perturb coordinates slightly so co-located sites differ.
+			Lat:            spec.Lat + rng.Float64()*0.5,
+			Lon:            spec.Lon + rng.Float64()*0.5,
+			UplinkMbps:     minMbps + rng.Float64()*(maxMbps-minMbps),
+			DownlinkMbps:   minMbps + rng.Float64()*(maxMbps-minMbps),
+			TimeZoneOffset: spec.TZ,
+		}
+		if err := net.AddSite(s); err != nil {
+			return nil, nil, err
+		}
+		sites = append(sites, s)
+	}
+	return net, sites, nil
+}

@@ -1,0 +1,186 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func site(id int, lat, lon, up, down float64) *Site {
+	return &Site{ID: id, Lat: lat, Lon: lon, UplinkMbps: up, DownlinkMbps: down}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Chicago to London ≈ 6350-6400 km.
+	chi := site(0, 41.9, -87.6, 100, 100)
+	lon := site(1, 51.5, -0.1, 100, 100)
+	d := HaversineKm(chi, lon)
+	if d < 6200 || d > 6500 {
+		t.Fatalf("Chicago-London = %v km, want ~6350", d)
+	}
+	if HaversineKm(chi, chi) != 0 {
+		t.Fatal("self distance should be 0")
+	}
+}
+
+func TestAddSiteDuplicate(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.AddSite(site(1, 0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSite(site(1, 0, 0, 10, 10)); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	if err := n.AddSite(site(2, 0, 0, 0, 10)); err == nil {
+		t.Fatal("zero-capacity site accepted")
+	}
+	if n.NumSites() != 1 {
+		t.Fatalf("NumSites = %d", n.NumSites())
+	}
+}
+
+func TestRTTGrowsWithDistance(t *testing.T) {
+	n := NewNetwork(1)
+	n.JitterFrac = 0
+	n.AddSite(site(0, 41.9, -87.6, 100, 100)) // chicago
+	n.AddSite(site(1, 40.7, -74.0, 100, 100)) // new york
+	n.AddSite(site(2, 35.7, 139.7, 100, 100)) // tokyo
+	near, err := n.RTT(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := n.RTT(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near >= far {
+		t.Fatalf("RTT chicago-ny (%v) should be < chicago-tokyo (%v)", near, far)
+	}
+	// Chicago-Tokyo ~10150 km → one-way ~76ms with stretch → RTT ~154ms.
+	if far < 100*time.Millisecond || far > 250*time.Millisecond {
+		t.Fatalf("chicago-tokyo RTT = %v, want ~150ms", far)
+	}
+}
+
+func TestRTTUnknownSite(t *testing.T) {
+	n := NewNetwork(1)
+	n.AddSite(site(0, 0, 0, 10, 10))
+	if _, err := n.RTT(0, 9); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := n.RTT(9, 0); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestPathMbpsBottleneck(t *testing.T) {
+	n := NewNetwork(1)
+	n.BackboneMbps = 1000
+	n.AddSite(site(0, 0, 0, 50, 200))
+	n.AddSite(site(1, 1, 1, 300, 80))
+	bw, err := n.PathMbps(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 50 { // src uplink is the bottleneck
+		t.Fatalf("bw = %v, want 50", bw)
+	}
+	bw, _ = n.PathMbps(1, 0)
+	if bw != 200 { // dst downlink 200 vs src uplink 300
+		t.Fatalf("reverse bw = %v, want 200", bw)
+	}
+	n.BackboneMbps = 30
+	bw, _ = n.PathMbps(0, 1)
+	if bw != 30 {
+		t.Fatalf("backbone-capped bw = %v, want 30", bw)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	n := NewNetwork(1)
+	n.JitterFrac = 0
+	n.RTTFloor = 0
+	n.AddSite(site(0, 0, 0, 80, 80))
+	n.AddSite(site(1, 0, 0.001, 80, 80))
+	// 100 MB at 80 Mbps = 800 Mbit / 80 Mbps = 10 s (RTT ~0).
+	d, err := n.TransferTime(0, 1, 100e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-10) > 0.2 {
+		t.Fatalf("transfer time = %v, want ~10s", d)
+	}
+	// Two flows halve per-flow bandwidth → double time.
+	d2, _ := n.TransferTime(0, 1, 100e6, 2)
+	if math.Abs(d2.Seconds()-20) > 0.4 {
+		t.Fatalf("2-flow transfer time = %v, want ~20s", d2)
+	}
+}
+
+func TestGenerateSites(t *testing.T) {
+	net, sites, err := GenerateSites(40, 7, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 40 || net.NumSites() != 40 {
+		t.Fatalf("generated %d sites", len(sites))
+	}
+	for _, s := range sites {
+		if s.UplinkMbps < 20 || s.UplinkMbps > 100 {
+			t.Fatalf("site %d uplink %v out of range", s.ID, s.UplinkMbps)
+		}
+	}
+	if _, _, err := GenerateSites(5, 1, -1, 10); err == nil {
+		t.Fatal("invalid range accepted")
+	}
+	if _, _, err := GenerateSites(5, 1, 100, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestGenerateSitesDeterministic(t *testing.T) {
+	_, a, _ := GenerateSites(10, 3, 10, 50)
+	_, b, _ := GenerateSites(10, 3, 10, 50)
+	for i := range a {
+		if a[i].Lat != b[i].Lat || a[i].UplinkMbps != b[i].UplinkMbps {
+			t.Fatalf("site %d differs between same-seed generations", i)
+		}
+	}
+}
+
+// Property: RTT is symmetric up to jitter; with jitter disabled, exactly.
+func TestPropertyRTTSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 int8) bool {
+		n := NewNetwork(1)
+		n.JitterFrac = 0
+		n.AddSite(site(0, float64(lat1)/2, float64(lon1), 10, 10))
+		n.AddSite(site(1, float64(lat2)/2, float64(lon2), 10, 10))
+		ab, err1 := n.RTT(0, 1)
+		ba, err2 := n.RTT(1, 0)
+		return err1 == nil && err2 == nil && ab == ba && ab >= n.RTTFloor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer time is monotone in bytes.
+func TestPropertyTransferMonotone(t *testing.T) {
+	n := NewNetwork(1)
+	n.JitterFrac = 0
+	n.AddSite(site(0, 10, 10, 55, 70))
+	n.AddSite(site(1, -20, 40, 90, 45))
+	f := func(a, b uint32) bool {
+		small, big := int64(a), int64(b)
+		if small > big {
+			small, big = big, small
+		}
+		ds, err1 := n.TransferTime(0, 1, small, 1)
+		db, err2 := n.TransferTime(0, 1, big, 1)
+		return err1 == nil && err2 == nil && ds <= db
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package partition implements the second allocation stage of
+// Section V-D: assigning data segments to replica nodes. The paper
+// contrasts traditional usage-based partitioning with socially informed
+// partitioning that groups similar users by their social connections; both
+// are implemented here, plus a round-robin baseline.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scdn/internal/community"
+	"scdn/internal/graph"
+	"scdn/internal/storage"
+)
+
+// Segment is a unit of placeable data (a dataset or dataset fragment).
+type Segment struct {
+	ID    storage.DatasetID
+	Bytes int64
+}
+
+// Usage records per-user access counts per segment.
+type Usage map[graph.NodeID]map[storage.DatasetID]uint64
+
+// Total returns the total access count for a segment.
+func (u Usage) Total(id storage.DatasetID) uint64 {
+	var sum uint64
+	for _, m := range u {
+		sum += m[id]
+	}
+	return sum
+}
+
+// Assignment maps each segment to the replica nodes chosen to host it.
+type Assignment map[storage.DatasetID][]graph.NodeID
+
+// Validate checks that an assignment respects per-node capacities.
+func (a Assignment) Validate(segments []Segment, capacity map[graph.NodeID]int64) error {
+	size := make(map[storage.DatasetID]int64, len(segments))
+	for _, s := range segments {
+		size[s.ID] = s.Bytes
+	}
+	used := make(map[graph.NodeID]int64)
+	for id, nodes := range a {
+		b, ok := size[id]
+		if !ok {
+			return fmt.Errorf("partition: assignment contains unknown segment %q", id)
+		}
+		for _, n := range nodes {
+			used[n] += b
+		}
+	}
+	for n, u := range used {
+		if cap, ok := capacity[n]; ok && u > cap {
+			return fmt.Errorf("partition: node %d over capacity (%d > %d)", n, u, cap)
+		}
+	}
+	return nil
+}
+
+// Params carries the shared inputs of all partitioners.
+type Params struct {
+	Graph *graph.Graph
+	// Replicas are the candidate holder nodes (already selected by the
+	// replica-placement stage).
+	Replicas []graph.NodeID
+	// Capacity bounds bytes per replica node; nodes absent from the map
+	// are unconstrained.
+	Capacity map[graph.NodeID]int64
+	// CopiesPerSegment is how many replicas each segment should have
+	// (clamped to len(Replicas); minimum 1).
+	CopiesPerSegment int
+}
+
+func (p *Params) copies() int {
+	c := p.CopiesPerSegment
+	if c < 1 {
+		c = 1
+	}
+	if c > len(p.Replicas) {
+		c = len(p.Replicas)
+	}
+	return c
+}
+
+// remainingCapacity initializes the capacity tracker.
+func (p *Params) remainingCapacity() map[graph.NodeID]int64 {
+	rem := make(map[graph.NodeID]int64, len(p.Replicas))
+	for _, r := range p.Replicas {
+		if c, ok := p.Capacity[r]; ok {
+			rem[r] = c
+		} else {
+			rem[r] = 1 << 62 // effectively unconstrained
+		}
+	}
+	return rem
+}
+
+// sortSegmentsByDemand orders segments by descending total usage, ties by
+// ID, so heavy segments get first pick of capacity.
+func sortSegmentsByDemand(segments []Segment, usage Usage) []Segment {
+	out := make([]Segment, len(segments))
+	copy(out, segments)
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := usage.Total(out[i].ID), usage.Total(out[j].ID)
+		if ui != uj {
+			return ui > uj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RoundRobin distributes segments cyclically over replicas, honouring
+// capacity. It is the socially blind baseline.
+func RoundRobin(segments []Segment, p Params) (Assignment, error) {
+	if len(p.Replicas) == 0 {
+		return nil, fmt.Errorf("partition: no replicas")
+	}
+	rem := p.remainingCapacity()
+	out := make(Assignment, len(segments))
+	idx := 0
+	for _, s := range segments {
+		placed := 0
+		for tries := 0; tries < len(p.Replicas) && placed < p.copies(); tries++ {
+			r := p.Replicas[idx%len(p.Replicas)]
+			idx++
+			if rem[r] >= s.Bytes && !contains(out[s.ID], r) {
+				rem[r] -= s.Bytes
+				out[s.ID] = append(out[s.ID], r)
+				placed++
+			}
+		}
+		if placed == 0 {
+			return nil, fmt.Errorf("partition: no capacity for segment %q", s.ID)
+		}
+	}
+	return out, nil
+}
+
+// UsageBased assigns each segment to the replicas with the highest
+// access-weighted proximity: Σ_users usage(u, s) / (1 + dist(u, r)). This
+// is the paper's "traditional" model — individual users and access
+// patterns, no social structure.
+func UsageBased(segments []Segment, usage Usage, p Params) (Assignment, error) {
+	if len(p.Replicas) == 0 {
+		return nil, fmt.Errorf("partition: no replicas")
+	}
+	rem := p.remainingCapacity()
+	// Hop distances from every replica (graph is shared, BFS per replica).
+	dist := make(map[graph.NodeID]map[graph.NodeID]int, len(p.Replicas))
+	for _, r := range p.Replicas {
+		dist[r] = p.Graph.BFSFrom(r)
+	}
+	out := make(Assignment, len(segments))
+	for _, s := range sortSegmentsByDemand(segments, usage) {
+		type scored struct {
+			node  graph.NodeID
+			score float64
+		}
+		var ranked []scored
+		for _, r := range p.Replicas {
+			score := 0.0
+			for u, m := range usage {
+				c := m[s.ID]
+				if c == 0 {
+					continue
+				}
+				d, reachable := dist[r][u]
+				if !reachable {
+					continue
+				}
+				score += float64(c) / float64(1+d)
+			}
+			ranked = append(ranked, scored{r, score})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].score != ranked[j].score {
+				return ranked[i].score > ranked[j].score
+			}
+			return ranked[i].node < ranked[j].node
+		})
+		placed := 0
+		for _, cand := range ranked {
+			if placed == p.copies() {
+				break
+			}
+			if rem[cand.node] >= s.Bytes {
+				rem[cand.node] -= s.Bytes
+				out[s.ID] = append(out[s.ID], cand.node)
+				placed++
+			}
+		}
+		if placed == 0 {
+			return nil, fmt.Errorf("partition: no capacity for segment %q", s.ID)
+		}
+	}
+	return out, nil
+}
+
+// SocialGroupBased groups users into communities (label propagation),
+// aggregates each community's demand per segment, and assigns segments to
+// replicas inside (or nearest to) the highest-demand communities — the
+// paper's "incorporate social information to group similar users based on
+// their social connections ... and data access patterns".
+func SocialGroupBased(segments []Segment, usage Usage, p Params, rng *rand.Rand) (Assignment, error) {
+	if len(p.Replicas) == 0 {
+		return nil, fmt.Errorf("partition: no replicas")
+	}
+	part := community.LabelPropagation(p.Graph, rng, 50)
+	// Demand per (community, segment).
+	demand := make(map[int]map[storage.DatasetID]uint64)
+	for u, m := range usage {
+		label, ok := part[u]
+		if !ok {
+			continue // user outside the graph
+		}
+		if demand[label] == nil {
+			demand[label] = make(map[storage.DatasetID]uint64)
+		}
+		for id, c := range m {
+			demand[label][id] += c
+		}
+	}
+	// Replicas per community.
+	repsByComm := make(map[int][]graph.NodeID)
+	for _, r := range p.Replicas {
+		repsByComm[part[r]] = append(repsByComm[part[r]], r)
+	}
+	for _, reps := range repsByComm {
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	}
+	rem := p.remainingCapacity()
+	out := make(Assignment, len(segments))
+	for _, s := range sortSegmentsByDemand(segments, usage) {
+		// Communities by descending demand for this segment.
+		type commDemand struct {
+			label int
+			d     uint64
+		}
+		var ranked []commDemand
+		for label, m := range demand {
+			if d := m[s.ID]; d > 0 {
+				ranked = append(ranked, commDemand{label, d})
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].d != ranked[j].d {
+				return ranked[i].d > ranked[j].d
+			}
+			return ranked[i].label < ranked[j].label
+		})
+		placed := 0
+		tryPlace := func(r graph.NodeID) {
+			if placed < p.copies() && rem[r] >= s.Bytes && !contains(out[s.ID], r) {
+				rem[r] -= s.Bytes
+				out[s.ID] = append(out[s.ID], r)
+				placed++
+			}
+		}
+		for _, cd := range ranked {
+			for _, r := range repsByComm[cd.label] {
+				tryPlace(r)
+			}
+		}
+		// Fallback: any replica with room (segment unused or its
+		// communities host no replicas).
+		for _, r := range sortedNodes(p.Replicas) {
+			tryPlace(r)
+		}
+		if placed == 0 {
+			return nil, fmt.Errorf("partition: no capacity for segment %q", s.ID)
+		}
+	}
+	return out, nil
+}
+
+func contains(nodes []graph.NodeID, n graph.NodeID) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNodes(in []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalityScore measures how well an assignment matches demand: the mean
+// over access instances of 1/(1+dist(user, nearest assigned replica)).
+// Higher is better; 1.0 means every access is served by a replica at the
+// accessing node.
+func LocalityScore(a Assignment, usage Usage, g *graph.Graph) float64 {
+	var weighted, total float64
+	for u, m := range usage {
+		dists := g.BFSFrom(u)
+		for id, c := range m {
+			if c == 0 {
+				continue
+			}
+			best := -1
+			for _, r := range a[id] {
+				if d, ok := dists[r]; ok && (best < 0 || d < best) {
+					best = d
+				}
+			}
+			total += float64(c)
+			if best >= 0 {
+				weighted += float64(c) / float64(1+best)
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}

@@ -1,0 +1,241 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"scdn/internal/graph"
+	"scdn/internal/storage"
+)
+
+// twoCliqueGraph builds two K4 cliques {0..3} and {10..13} joined by an
+// edge 0-10.
+func twoCliqueGraph() *graph.Graph {
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			g.AddEdge(graph.NodeID(10+i), graph.NodeID(10+j))
+		}
+	}
+	g.AddEdge(0, 10)
+	return g
+}
+
+func seg(id string, bytes int64) Segment {
+	return Segment{ID: storage.DatasetID(id), Bytes: bytes}
+}
+
+func TestRoundRobinDistributes(t *testing.T) {
+	g := twoCliqueGraph()
+	p := Params{Graph: g, Replicas: []graph.NodeID{1, 11}}
+	segs := []Segment{seg("a", 10), seg("b", 10), seg("c", 10), seg("d", 10)}
+	a, err := RoundRobin(segs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[graph.NodeID]int{}
+	for _, nodes := range a {
+		if len(nodes) != 1 {
+			t.Fatalf("copies = %d, want 1", len(nodes))
+		}
+		count[nodes[0]]++
+	}
+	if count[1] != 2 || count[11] != 2 {
+		t.Fatalf("distribution = %v, want 2/2", count)
+	}
+}
+
+func TestRoundRobinCapacity(t *testing.T) {
+	g := twoCliqueGraph()
+	p := Params{
+		Graph:    g,
+		Replicas: []graph.NodeID{1, 11},
+		Capacity: map[graph.NodeID]int64{1: 10, 11: 30},
+	}
+	segs := []Segment{seg("a", 10), seg("b", 10), seg("c", 10)}
+	a, err := RoundRobin(segs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(segs, p.Capacity); err != nil {
+		t.Fatal(err)
+	}
+	// Over-capacity demand fails.
+	segs = append(segs, seg("d", 10), seg("e", 10))
+	if _, err := RoundRobin(segs, p); err == nil {
+		t.Fatal("over-capacity assignment accepted")
+	}
+}
+
+func TestRoundRobinNoReplicas(t *testing.T) {
+	if _, err := RoundRobin([]Segment{seg("a", 1)}, Params{Graph: graph.New()}); err == nil {
+		t.Fatal("no replicas accepted")
+	}
+}
+
+func TestUsageBasedAffinity(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{
+		1:  {"left": 100},
+		2:  {"left": 50},
+		11: {"right": 100},
+		12: {"right": 60},
+	}
+	p := Params{Graph: g, Replicas: []graph.NodeID{3, 13}}
+	a, err := UsageBased([]Segment{seg("left", 10), seg("right", 10)}, usage, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["left"][0] != 3 {
+		t.Fatalf("left assigned to %v, want clique-A replica 3", a["left"])
+	}
+	if a["right"][0] != 13 {
+		t.Fatalf("right assigned to %v, want clique-B replica 13", a["right"])
+	}
+}
+
+func TestUsageBasedCopies(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{1: {"a": 10}}
+	p := Params{Graph: g, Replicas: []graph.NodeID{2, 3, 12}, CopiesPerSegment: 2}
+	a, err := UsageBased([]Segment{seg("a", 5)}, usage, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a["a"]) != 2 {
+		t.Fatalf("copies = %d, want 2", len(a["a"]))
+	}
+}
+
+func TestUsageBasedCapacitySpill(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{1: {"a": 100, "b": 90}}
+	p := Params{
+		Graph:    g,
+		Replicas: []graph.NodeID{2, 12},
+		Capacity: map[graph.NodeID]int64{2: 10, 12: 100},
+	}
+	// Both segments prefer replica 2 (same clique), but only one fits;
+	// the other must spill to 12.
+	a, err := UsageBased([]Segment{seg("a", 10), seg("b", 10)}, usage, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["a"][0] != 2 { // heavier segment wins the good spot
+		t.Fatalf("a → %v, want 2", a["a"])
+	}
+	if a["b"][0] != 12 {
+		t.Fatalf("b → %v, want spill to 12", a["b"])
+	}
+}
+
+func TestSocialGroupBasedPrefersCommunityReplica(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{
+		1:  {"left": 100},
+		2:  {"left": 80},
+		11: {"right": 100},
+	}
+	p := Params{Graph: g, Replicas: []graph.NodeID{3, 13}}
+	a, err := SocialGroupBased([]Segment{seg("left", 10), seg("right", 10)}, usage, p,
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["left"][0] != 3 {
+		t.Fatalf("left → %v, want community replica 3", a["left"])
+	}
+	if a["right"][0] != 13 {
+		t.Fatalf("right → %v, want community replica 13", a["right"])
+	}
+}
+
+func TestSocialGroupBasedFallback(t *testing.T) {
+	g := twoCliqueGraph()
+	// Segment nobody uses still gets placed somewhere.
+	p := Params{Graph: g, Replicas: []graph.NodeID{3}}
+	a, err := SocialGroupBased([]Segment{seg("unused", 10)}, Usage{}, p,
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a["unused"]) != 1 {
+		t.Fatalf("unused segment not placed: %v", a)
+	}
+	if _, err := SocialGroupBased(nil, Usage{}, Params{Graph: g}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("no replicas accepted")
+	}
+}
+
+func TestLocalityScore(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{1: {"a": 10}}
+	// Replica at the accessing node: perfect locality.
+	perfect := Assignment{"a": {1}}
+	if s := LocalityScore(perfect, usage, g); s != 1 {
+		t.Fatalf("perfect locality = %v, want 1", s)
+	}
+	// Replica one hop away: 1/2.
+	near := Assignment{"a": {2}}
+	if s := LocalityScore(near, usage, g); s != 0.5 {
+		t.Fatalf("one-hop locality = %v, want 0.5", s)
+	}
+	// Unreachable assignment contributes 0.
+	if s := LocalityScore(Assignment{"a": {}}, usage, g); s != 0 {
+		t.Fatalf("empty locality = %v, want 0", s)
+	}
+	if s := LocalityScore(Assignment{}, Usage{}, g); s != 0 {
+		t.Fatalf("no-usage locality = %v, want 0", s)
+	}
+}
+
+func TestSocialBeatsRoundRobinOnClusteredUsage(t *testing.T) {
+	g := twoCliqueGraph()
+	usage := Usage{
+		0: {"a": 50}, 1: {"a": 50}, 2: {"a": 50},
+		10: {"b": 50}, 11: {"b": 50}, 12: {"b": 50},
+	}
+	p := Params{Graph: g, Replicas: []graph.NodeID{3, 13}}
+	segs := []Segment{seg("a", 10), seg("b", 10)}
+	social, err := SocialGroupBased(segs, usage, p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial round-robin: replica order makes RR place each segment
+	// in the wrong clique.
+	pBad := Params{Graph: g, Replicas: []graph.NodeID{13, 3}}
+	rr, err := RoundRobin(segs, pBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LocalityScore(social, usage, g) <= LocalityScore(rr, usage, g) {
+		t.Fatalf("social locality %.3f should beat adversarial round-robin %.3f",
+			LocalityScore(social, usage, g), LocalityScore(rr, usage, g))
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	segs := []Segment{seg("a", 10)}
+	good := Assignment{"a": {1}}
+	if err := good.Validate(segs, map[graph.NodeID]int64{1: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(segs, map[graph.NodeID]int64{1: 5}); err == nil {
+		t.Fatal("over-capacity validated")
+	}
+	bad := Assignment{"ghost": {1}}
+	if err := bad.Validate(segs, nil); err == nil {
+		t.Fatal("unknown segment validated")
+	}
+}
+
+func TestUsageTotal(t *testing.T) {
+	u := Usage{1: {"a": 3}, 2: {"a": 4, "b": 1}}
+	if got := u.Total("a"); got != 7 {
+		t.Fatalf("total = %d, want 7", got)
+	}
+	if got := u.Total("zzz"); got != 0 {
+		t.Fatalf("missing total = %d, want 0", got)
+	}
+}

@@ -1,0 +1,64 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"scdn/internal/graph"
+)
+
+// benchGraph approximates the case-study baseline: ~2000 nodes with a
+// heavy-tailed degree distribution (preferential attachment).
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New()
+	var endpoints []graph.NodeID
+	g.AddEdge(0, 1)
+	endpoints = append(endpoints, 0, 1)
+	for i := graph.NodeID(2); i < 2000; i++ {
+		for d := 0; d < 8; d++ {
+			target := endpoints[rng.Intn(len(endpoints))]
+			g.AddEdge(i, target)
+			endpoints = append(endpoints, i, target)
+		}
+	}
+	return g
+}
+
+func benchPlace(b *testing.B, alg Algorithm) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = alg.Place(g, 10, rng)
+	}
+}
+
+func BenchmarkPlaceRandom(b *testing.B)        { benchPlace(b, Random{}) }
+func BenchmarkPlaceNodeDegree(b *testing.B)    { benchPlace(b, NodeDegree{}) }
+func BenchmarkPlaceCommunityND(b *testing.B)   { benchPlace(b, CommunityNodeDegree{}) }
+func BenchmarkPlaceClustering(b *testing.B)    { benchPlace(b, ClusteringCoefficient{}) }
+func BenchmarkPlaceCloseness(b *testing.B)     { benchPlace(b, Closeness{}) }
+func BenchmarkPlaceGreedyCover(b *testing.B)   { benchPlace(b, GreedyCover{}) }
+func BenchmarkPlaceSocialScore(b *testing.B)   { benchPlace(b, NewSocialScore()) }
+func BenchmarkPlaceTrustWeighted(b *testing.B) { benchPlace(b, TrustWeightedDegree{}) }
+
+func BenchmarkEvaluateHitRate(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(11))
+	events := make([]Event, 500)
+	for i := range events {
+		ev := make(Event, 5)
+		for j := range ev {
+			ev[j] = graph.NodeID(rng.Intn(2200)) // some authors outside the graph
+		}
+		events[i] = ev
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Evaluate(g, events, CommunityNodeDegree{}, EvalConfig{
+			Replicas: 10, Runs: 10, HitRadius: 1, Seed: int64(i),
+		})
+	}
+}

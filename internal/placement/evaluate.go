@@ -1,0 +1,208 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"scdn/internal/graph"
+)
+
+// Event is one future collaboration: the author list of a test-period
+// publication. The evaluator skips events with no author inside the
+// subgraph (the paper only considers 2011 publications "coauthored by at
+// least one author in the subgraphs").
+type Event []graph.NodeID
+
+// EvalConfig controls hit-rate evaluation.
+type EvalConfig struct {
+	// Replicas is the number of replicas to place.
+	Replicas int
+	// Runs is how many placements to average over (the paper uses 100
+	// "to account for randomness").
+	Runs int
+	// HitRadius is the maximum hop distance from a replica that counts as
+	// a hit; the paper uses 1 ("an author with a direct link to a
+	// replica").
+	HitRadius int
+	// Seed seeds the run RNGs; the same seed reproduces the same estimate
+	// regardless of parallelism (each run derives its own stream).
+	Seed int64
+	// Workers bounds the goroutines evaluating runs in parallel. Zero
+	// uses GOMAXPROCS; 1 forces serial evaluation. Results are identical
+	// for any worker count.
+	Workers int
+}
+
+// Result is an averaged hit-rate measurement.
+type Result struct {
+	Algorithm string
+	Replicas  int
+	// HitRate is the paper's metric: the mean percentage of in-subgraph
+	// test author instances within HitRadius of a replica ("we report
+	// misses only when the author exists in the subgraph").
+	HitRate float64
+	// InclusiveRate additionally counts authors absent from the subgraph
+	// as misses — the paper notes these are constant across algorithms
+	// and "reduce the overall hit ratio".
+	InclusiveRate float64
+	// StdDev is the standard deviation of the per-run HitRate values.
+	StdDev float64
+}
+
+// Evaluate measures the replica hit rate of alg on g for the given events,
+// reproducing the paper's Section VI methodology: replicas are placed on
+// the (training) subgraph, then every author instance of every qualifying
+// event is scored — a hit if the author is in the subgraph and within
+// HitRadius hops of a replica, a miss otherwise (including authors absent
+// from the subgraph, which dilute the rate identically for every
+// algorithm).
+func Evaluate(g *graph.Graph, events []Event, alg Algorithm, cfg EvalConfig) Result {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.HitRadius <= 0 {
+		cfg.HitRadius = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	kept := keepQualifying(g, events)
+
+	// Each run gets its own derived RNG stream, so the estimate is
+	// identical whether runs execute serially or across workers.
+	rates := make([]float64, cfg.Runs)
+	inclusive := make([]float64, cfg.Runs)
+	evalRun := func(run int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*0x9E3779B9))
+		replicas := alg.Place(g, cfg.Replicas, rng)
+		covered := CoverageSet(g, replicas, cfg.HitRadius)
+		rates[run], inclusive[run] = hitRate(g, kept, covered)
+	}
+	if workers == 1 {
+		for run := 0; run < cfg.Runs; run++ {
+			evalRun(run)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for run := range next {
+					evalRun(run)
+				}
+			}()
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			next <- run
+		}
+		close(next)
+		wg.Wait()
+	}
+	mean, sd := meanStd(rates)
+	inclMean, _ := meanStd(inclusive)
+	return Result{Algorithm: alg.Name(), Replicas: cfg.Replicas,
+		HitRate: mean, InclusiveRate: inclMean, StdDev: sd}
+}
+
+// Series evaluates alg for every replica count 1..maxReplicas, returning
+// one Result per count — one curve of the paper's Fig. 3.
+func Series(g *graph.Graph, events []Event, alg Algorithm, maxReplicas int, cfg EvalConfig) []Result {
+	out := make([]Result, 0, maxReplicas)
+	for k := 1; k <= maxReplicas; k++ {
+		c := cfg
+		c.Replicas = k
+		// Decorrelate runs across k while keeping the whole series
+		// reproducible from cfg.Seed.
+		c.Seed = cfg.Seed + int64(k)*1e6
+		out = append(out, Evaluate(g, events, alg, c))
+	}
+	return out
+}
+
+// CoverageSet returns all nodes within radius hops of any replica
+// (replicas included).
+func CoverageSet(g *graph.Graph, replicas []graph.NodeID, radius int) map[graph.NodeID]struct{} {
+	covered := make(map[graph.NodeID]struct{})
+	for _, r := range replicas {
+		if !g.HasNode(r) {
+			continue
+		}
+		covered[r] = struct{}{}
+		if radius == 1 {
+			for _, v := range g.Neighbors(r) {
+				covered[v] = struct{}{}
+			}
+			continue
+		}
+		for u, d := range g.BFSFrom(r) {
+			if d <= radius {
+				covered[u] = struct{}{}
+			}
+		}
+	}
+	return covered
+}
+
+// keepQualifying filters events to those with at least one author in g.
+func keepQualifying(g *graph.Graph, events []Event) []Event {
+	kept := make([]Event, 0, len(events))
+	for _, ev := range events {
+		for _, a := range ev {
+			if g.HasNode(a) {
+				kept = append(kept, ev)
+				break
+			}
+		}
+	}
+	return kept
+}
+
+// hitRate returns the paper's in-subgraph hit percentage and the inclusive
+// percentage that also counts out-of-subgraph authors as misses.
+func hitRate(g *graph.Graph, events []Event, covered map[graph.NodeID]struct{}) (inGraph, inclusive float64) {
+	hits, inTotal, allTotal := 0, 0, 0
+	for _, ev := range events {
+		for _, a := range ev {
+			allTotal++
+			if !g.HasNode(a) {
+				continue // out-of-subgraph author: excluded from HitRate
+			}
+			inTotal++
+			if _, ok := covered[a]; ok {
+				hits++
+			}
+		}
+	}
+	if inTotal > 0 {
+		inGraph = 100 * float64(hits) / float64(inTotal)
+	}
+	if allTotal > 0 {
+		inclusive = 100 * float64(hits) / float64(allTotal)
+	}
+	return inGraph, inclusive
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)-1))
+}

@@ -1,0 +1,173 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"scdn/internal/graph"
+)
+
+func TestCoverageSetRadius1(t *testing.T) {
+	g := path(7)
+	cov := CoverageSet(g, []graph.NodeID{3}, 1)
+	want := []graph.NodeID{2, 3, 4}
+	if len(cov) != len(want) {
+		t.Fatalf("coverage = %v, want %v", cov, want)
+	}
+	for _, u := range want {
+		if _, ok := cov[u]; !ok {
+			t.Fatalf("coverage missing %d", u)
+		}
+	}
+}
+
+func TestCoverageSetRadius2(t *testing.T) {
+	g := path(9)
+	cov := CoverageSet(g, []graph.NodeID{4}, 2)
+	if len(cov) != 5 {
+		t.Fatalf("radius-2 coverage size = %d, want 5", len(cov))
+	}
+}
+
+func TestCoverageSetIgnoresAbsentReplica(t *testing.T) {
+	g := path(3)
+	cov := CoverageSet(g, []graph.NodeID{99}, 1)
+	if len(cov) != 0 {
+		t.Fatalf("absent replica covered %v", cov)
+	}
+}
+
+func TestHitRateCounting(t *testing.T) {
+	// Graph: path 0-1-2-3-4. Replica at 1 covers {0,1,2}.
+	g := path(5)
+	events := []Event{
+		{0, 2},    // both covered → 2 hits of 2 in-graph
+		{3, 99},   // 3 uncovered, 99 absent → 0 hits of 1 in-graph
+		{98, 97},  // no author in graph → event skipped entirely
+		{4, 4, 1}, // duplicate instances: 4 (miss), 4 (miss), 1 (hit)
+	}
+	covered := CoverageSet(g, []graph.NodeID{1}, 1)
+	inG, incl := hitRate(g, keepQualifying(g, events), covered)
+	// In-graph instances: 2 + 1 + 3 = 6, hits 2+0+1 = 3 → 50%.
+	if math.Abs(inG-50) > 1e-9 {
+		t.Fatalf("in-graph hit rate = %v, want 50", inG)
+	}
+	// All instances of kept events: 2 + 2 + 3 = 7 → inclusive 3/7.
+	want := 100 * 3.0 / 7.0
+	if math.Abs(incl-want) > 1e-9 {
+		t.Fatalf("inclusive rate = %v, want %v", incl, want)
+	}
+}
+
+func TestHitRateEmptyEvents(t *testing.T) {
+	g := star(3)
+	if inG, incl := hitRate(g, nil, nil); inG != 0 || incl != 0 {
+		t.Fatalf("empty hit rate = %v/%v, want 0/0", inG, incl)
+	}
+}
+
+func TestEvaluateDeterministicSeed(t *testing.T) {
+	g := star(10)
+	events := []Event{{1, 2, 3}, {4, 5}, {0, 6}}
+	cfg := EvalConfig{Replicas: 2, Runs: 10, HitRadius: 1, Seed: 7}
+	a := Evaluate(g, events, Random{}, cfg)
+	b := Evaluate(g, events, Random{}, cfg)
+	if a.HitRate != b.HitRate || a.StdDev != b.StdDev {
+		t.Fatalf("same seed gave different results: %v vs %v", a, b)
+	}
+	c := Evaluate(g, events, Random{}, EvalConfig{Replicas: 2, Runs: 10, HitRadius: 1, Seed: 8})
+	if a.HitRate == c.HitRate && a.StdDev == c.StdDev {
+		t.Log("different seeds gave identical results (possible but unlikely)")
+	}
+}
+
+func TestEvaluateHubPerfect(t *testing.T) {
+	// Replica on the star hub covers every node: NodeDegree must score 100%
+	// for events drawn entirely from the graph.
+	g := star(12)
+	events := []Event{{1, 2, 3}, {4, 5, 6}, {7, 0}}
+	res := Evaluate(g, events, NodeDegree{}, EvalConfig{Replicas: 1, Runs: 5, Seed: 1})
+	if res.HitRate != 100 {
+		t.Fatalf("hub hit rate = %v, want 100", res.HitRate)
+	}
+	if res.StdDev != 0 {
+		t.Fatalf("deterministic placement stddev = %v, want 0", res.StdDev)
+	}
+}
+
+func TestEvaluateDilutionByNewAuthors(t *testing.T) {
+	g := star(4)
+	// Half the instances are unknown authors: excluded from HitRate (the
+	// paper's metric) but counted in InclusiveRate.
+	events := []Event{{1, 101}, {2, 102}}
+	res := Evaluate(g, events, NodeDegree{}, EvalConfig{Replicas: 1, Runs: 3, Seed: 1})
+	if res.HitRate != 100 {
+		t.Fatalf("in-graph hit rate = %v, want 100", res.HitRate)
+	}
+	if res.InclusiveRate != 50 {
+		t.Fatalf("inclusive rate = %v, want 50", res.InclusiveRate)
+	}
+}
+
+func TestSeriesMonotoneForGreedyCover(t *testing.T) {
+	g := twoStars(8)
+	events := []Event{{1, 2}, {101, 102}, {0, 100}, {3, 103}}
+	series := Series(g, events, GreedyCover{}, 4, EvalConfig{Runs: 3, Seed: 2})
+	if len(series) != 4 {
+		t.Fatalf("series length = %d, want 4", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].HitRate < series[i-1].HitRate-1e-9 {
+			t.Fatalf("greedy cover hit rate decreased: %v", series)
+		}
+	}
+	if series[0].Replicas != 1 || series[3].Replicas != 4 {
+		t.Fatalf("replica counts wrong: %+v", series)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-9 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if math.Abs(s-2.138089935) > 1e-6 {
+		t.Fatalf("sample stddev = %v, want ~2.138", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty meanStd should be 0,0")
+	}
+	if _, s := meanStd([]float64{3}); s != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	g := twoStars(10)
+	var events []Event
+	for i := 1; i <= 10; i++ {
+		events = append(events, Event{graph.NodeID(i), graph.NodeID(100 + i)})
+	}
+	base := EvalConfig{Replicas: 3, Runs: 40, HitRadius: 1, Seed: 99}
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+	for _, alg := range PaperAlgorithms() {
+		s := Evaluate(g, events, alg, serial)
+		p := Evaluate(g, events, alg, parallel)
+		if s.HitRate != p.HitRate || s.StdDev != p.StdDev || s.InclusiveRate != p.InclusiveRate {
+			t.Fatalf("%s: serial %+v != parallel %+v", alg.Name(), s, p)
+		}
+	}
+}
+
+func TestEvaluateWorkersClamped(t *testing.T) {
+	g := star(5)
+	events := []Event{{1, 2}}
+	// More workers than runs must not deadlock or panic.
+	res := Evaluate(g, events, Random{}, EvalConfig{Replicas: 1, Runs: 2, Workers: 64, Seed: 1})
+	if res.HitRate < 0 || res.HitRate > 100 {
+		t.Fatalf("rate = %v", res.HitRate)
+	}
+}

@@ -1,0 +1,308 @@
+// Package placement implements the S-CDN replica placement algorithms of
+// the paper's Section VI case study — Random, Node Degree, Community Node
+// Degree, and Clustering Coefficient — together with the architecture
+// section's extensions (Betweenness, Closeness, Availability Cover, Social
+// Score) and the hit-rate evaluator used to produce Fig. 3.
+//
+// Algorithms operate on plain graphs (any social substrate); the evaluator
+// consumes "events" — author lists of future publications — so it is
+// decoupled from the coauthorship model.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scdn/internal/graph"
+)
+
+// Algorithm selects k replica locations in a social graph. Randomized
+// algorithms draw from rng; deterministic ones ignore it. Implementations
+// must not mutate g.
+type Algorithm interface {
+	// Name returns the algorithm's display name (matches the paper's
+	// legend where applicable).
+	Name() string
+	// Place returns min(k, |V|) distinct node IDs.
+	Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID
+}
+
+// Random places replicas uniformly at random (paper algorithm 1).
+type Random struct{}
+
+// Name implements Algorithm.
+func (Random) Name() string { return "Random" }
+
+// Place implements Algorithm.
+func (Random) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	nodes := g.Nodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return nodes[:k]
+}
+
+// NodeDegree places replicas on the k highest-degree nodes (paper
+// algorithm 2). Ties are broken randomly so repeated runs explore
+// equivalent placements.
+type NodeDegree struct{}
+
+// Name implements Algorithm.
+func (NodeDegree) Name() string { return "Node Degree" }
+
+// Place implements Algorithm.
+func (NodeDegree) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	ranked := rankWithRandomTies(g.DegreeScores(), rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// CommunityNodeDegree places replicas on high-degree nodes under the
+// constraint that no two replicas are direct neighbours (paper algorithm
+// 3: a community — a node and its direct neighbours — "elects" at most one
+// replica). When the constraint exhausts the graph, remaining slots fall
+// back to the highest-degree unselected nodes.
+type CommunityNodeDegree struct{}
+
+// Name implements Algorithm.
+func (CommunityNodeDegree) Name() string { return "Community Node Degree" }
+
+// Place implements Algorithm.
+func (CommunityNodeDegree) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	ranked := rankWithRandomTies(g.DegreeScores(), rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	chosen := make([]graph.NodeID, 0, k)
+	blocked := make(map[graph.NodeID]struct{})
+	taken := make(map[graph.NodeID]struct{})
+	for _, u := range ranked {
+		if len(chosen) == k {
+			return chosen
+		}
+		if _, bad := blocked[u]; bad {
+			continue
+		}
+		chosen = append(chosen, u)
+		taken[u] = struct{}{}
+		blocked[u] = struct{}{}
+		for _, v := range g.Neighbors(u) {
+			blocked[v] = struct{}{}
+		}
+	}
+	// Constraint exhausted: fill from the top of the ranking.
+	for _, u := range ranked {
+		if len(chosen) == k {
+			break
+		}
+		if _, dup := taken[u]; !dup {
+			chosen = append(chosen, u)
+			taken[u] = struct{}{}
+		}
+	}
+	return chosen
+}
+
+// ClusteringCoefficient places replicas on the k nodes with the highest
+// local clustering coefficient (paper algorithm 4). Many nodes tie at
+// coefficient 1.0, so ties are broken randomly; the paper observes this
+// algorithm performs poorly because high-clustering nodes sit in small
+// tight clusters.
+type ClusteringCoefficient struct{}
+
+// Name implements Algorithm.
+func (ClusteringCoefficient) Name() string { return "Clustering Coefficient" }
+
+// Place implements Algorithm.
+func (ClusteringCoefficient) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	ranked := rankWithRandomTies(g.ClusteringScores(), rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// Betweenness places replicas on the k nodes with the highest betweenness
+// centrality (Section V-D extension).
+type Betweenness struct{}
+
+// Name implements Algorithm.
+func (Betweenness) Name() string { return "Betweenness" }
+
+// Place implements Algorithm.
+func (Betweenness) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	ranked := rankWithRandomTies(g.Betweenness(), rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// Closeness places replicas on the k nodes with the highest closeness
+// centrality (Section V-D extension).
+type Closeness struct{}
+
+// Name implements Algorithm.
+func (Closeness) Name() string { return "Closeness" }
+
+// Place implements Algorithm.
+func (Closeness) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	ranked := rankWithRandomTies(g.Closeness(), rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// SocialScore combines degree, betweenness, and inverse clustering into a
+// single score, after the Social CDN cache-selection idea the paper cites
+// ([19]/[20]): central, well-connected nodes that are not buried inside a
+// single tight cluster.
+type SocialScore struct {
+	// DegreeWeight, BetweennessWeight, and SpreadWeight default to 1, 1,
+	// and 0.5 when zero-valued via NewSocialScore.
+	DegreeWeight, BetweennessWeight, SpreadWeight float64
+}
+
+// NewSocialScore returns a SocialScore with the default weights.
+func NewSocialScore() SocialScore {
+	return SocialScore{DegreeWeight: 1, BetweennessWeight: 1, SpreadWeight: 0.5}
+}
+
+// Name implements Algorithm.
+func (SocialScore) Name() string { return "Social Score" }
+
+// Place implements Algorithm.
+func (s SocialScore) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	deg := normalize(g.DegreeScores())
+	bet := normalize(g.Betweenness())
+	clu := g.ClusteringScores()
+	score := make(map[graph.NodeID]float64, g.NumNodes())
+	for _, u := range g.Nodes() {
+		score[u] = s.DegreeWeight*deg[u] + s.BetweennessWeight*bet[u] + s.SpreadWeight*(1-clu[u])
+	}
+	ranked := rankWithRandomTies(score, rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// GreedyCover places replicas to greedily maximize 1-hop coverage: each
+// step picks the node whose closed neighbourhood covers the most
+// still-uncovered nodes. It is the strongest static 1-hop-coverage
+// baseline and serves as an upper-reference in ablations.
+type GreedyCover struct{}
+
+// Name implements Algorithm.
+func (GreedyCover) Name() string { return "Greedy Cover" }
+
+// Place implements Algorithm.
+func (GreedyCover) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	if k > g.NumNodes() {
+		k = g.NumNodes()
+	}
+	covered := make(map[graph.NodeID]struct{})
+	taken := make(map[graph.NodeID]struct{})
+	chosen := make([]graph.NodeID, 0, k)
+	nodes := g.Nodes()
+	for len(chosen) < k {
+		var best graph.NodeID
+		bestGain := -1
+		for _, u := range nodes {
+			if _, dup := taken[u]; dup {
+				continue
+			}
+			gain := 0
+			if _, ok := covered[u]; !ok {
+				gain++
+			}
+			for _, v := range g.Neighbors(u) {
+				if _, ok := covered[v]; !ok {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, best = gain, u
+			}
+		}
+		chosen = append(chosen, best)
+		taken[best] = struct{}{}
+		covered[best] = struct{}{}
+		for _, v := range g.Neighbors(best) {
+			covered[v] = struct{}{}
+		}
+	}
+	return chosen
+}
+
+// PaperAlgorithms returns the four algorithms evaluated in the paper's
+// Fig. 3, in the paper's legend order.
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{Random{}, NodeDegree{}, CommunityNodeDegree{}, ClusteringCoefficient{}}
+}
+
+// ExtendedAlgorithms returns the Section V-D extension algorithms
+// implemented beyond the paper's evaluation.
+func ExtendedAlgorithms() []Algorithm {
+	return []Algorithm{Betweenness{}, Closeness{}, NewSocialScore(), GreedyCover{}}
+}
+
+// ByName returns the algorithm with the given display name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range append(PaperAlgorithms(), ExtendedAlgorithms()...) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: unknown algorithm %q", name)
+}
+
+// rankWithRandomTies orders nodes by descending score, shuffling nodes
+// that share a score so that tie order varies between runs.
+func rankWithRandomTies(scores map[graph.NodeID]float64, rng *rand.Rand) []graph.NodeID {
+	ranked := graph.RankByScore(scores)
+	out := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Node
+	}
+	// Shuffle each maximal run of equal scores.
+	start := 0
+	for i := 1; i <= len(ranked); i++ {
+		if i == len(ranked) || ranked[i].Score != ranked[start].Score {
+			run := out[start:i]
+			rng.Shuffle(len(run), func(a, b int) { run[a], run[b] = run[b], run[a] })
+			start = i
+		}
+	}
+	return out
+}
+
+// normalize scales scores into [0,1] by the maximum (all-zero input stays
+// zero).
+func normalize(scores map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	max := 0.0
+	for _, v := range scores {
+		if v > max {
+			max = v
+		}
+	}
+	out := make(map[graph.NodeID]float64, len(scores))
+	for u, v := range scores {
+		if max > 0 {
+			out[u] = v / max
+		}
+	}
+	return out
+}
+
+// sortNodes sorts a node slice ascending in place and returns it (test
+// convenience shared across files).
+func sortNodes(ids []graph.NodeID) []graph.NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,262 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scdn/internal/graph"
+)
+
+func star(n int) *graph.Graph {
+	g := graph.New()
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, graph.NodeID(i))
+	}
+	return g
+}
+
+func path(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+// twoStars builds two stars with hubs 0 and 100, bridged by an edge.
+func twoStars(leaves int) *graph.Graph {
+	g := graph.New()
+	for i := 1; i <= leaves; i++ {
+		g.AddEdge(0, graph.NodeID(i))
+		g.AddEdge(100, graph.NodeID(100+i))
+	}
+	g.AddEdge(0, 100)
+	return g
+}
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func hasDup(ids []graph.NodeID) bool {
+	seen := make(map[graph.NodeID]struct{})
+	for _, u := range ids {
+		if _, dup := seen[u]; dup {
+			return true
+		}
+		seen[u] = struct{}{}
+	}
+	return false
+}
+
+func TestRandomPlacesDistinct(t *testing.T) {
+	g := path(20)
+	p := Random{}.Place(g, 10, rng(1))
+	if len(p) != 10 || hasDup(p) {
+		t.Fatalf("Random placement invalid: %v", p)
+	}
+}
+
+func TestRandomClampsToGraph(t *testing.T) {
+	g := path(3)
+	p := Random{}.Place(g, 10, rng(1))
+	if len(p) != 3 {
+		t.Fatalf("len = %d, want 3", len(p))
+	}
+}
+
+func TestNodeDegreePicksHub(t *testing.T) {
+	g := star(8)
+	p := NodeDegree{}.Place(g, 1, rng(1))
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("NodeDegree on star = %v, want [0]", p)
+	}
+}
+
+func TestNodeDegreeOrdering(t *testing.T) {
+	g := twoStars(5)
+	p := NodeDegree{}.Place(g, 2, rng(1))
+	got := map[graph.NodeID]bool{p[0]: true, p[1]: true}
+	if !got[0] || !got[100] {
+		t.Fatalf("NodeDegree top-2 = %v, want hubs 0 and 100", p)
+	}
+}
+
+func TestCommunityNodeDegreeAvoidsNeighbors(t *testing.T) {
+	// Star: hub and leaves are all mutually adjacent to the hub; after
+	// choosing the hub, every leaf is blocked, so the fallback fills with
+	// highest-degree remaining (leaves).
+	g := star(5)
+	p := CommunityNodeDegree{}.Place(g, 3, rng(1))
+	if len(p) != 3 {
+		t.Fatalf("len = %d, want 3", len(p))
+	}
+	if p[0] != 0 {
+		t.Fatalf("first pick = %d, want hub 0", p[0])
+	}
+}
+
+func TestCommunityNodeDegreeSpreads(t *testing.T) {
+	// Two bridged stars: second pick must be the other hub even though
+	// leaves of the first hub are blocked; the two hubs are adjacent via
+	// the bridge, so the non-adjacency constraint forces... the bridge
+	// makes hubs adjacent, so after hub 0 the hub 100 is blocked and the
+	// constraint picks a leaf; verify no two chosen are adjacent.
+	g := twoStars(6)
+	p := CommunityNodeDegree{}.Place(g, 2, rng(1))
+	if len(p) != 2 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if g.HasEdge(p[0], p[1]) {
+		t.Fatalf("chosen replicas %v are adjacent", p)
+	}
+}
+
+func TestCommunityNodeDegreeFallback(t *testing.T) {
+	// Complete graph: after one pick everything is blocked; fallback must
+	// still deliver k distinct replicas.
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	p := CommunityNodeDegree{}.Place(g, 4, rng(1))
+	if len(p) != 4 || hasDup(p) {
+		t.Fatalf("fallback placement invalid: %v", p)
+	}
+}
+
+func TestClusteringCoefficientPrefersCliques(t *testing.T) {
+	// A triangle (clustering 1) attached to a long path (clustering 0).
+	g := path(10)
+	g.AddEdge(20, 21)
+	g.AddEdge(21, 22)
+	g.AddEdge(20, 22)
+	g.AddEdge(9, 20) // connect
+	p := ClusteringCoefficient{}.Place(g, 2, rng(1))
+	for _, u := range p {
+		if u != 21 && u != 22 {
+			// node 20 has a path neighbour so its clustering is 1/3.
+			t.Fatalf("clustering picked %v, want triangle nodes 21/22", p)
+		}
+	}
+}
+
+func TestBetweennessPicksBridge(t *testing.T) {
+	// Two stars bridged via hubs: hubs have the highest betweenness.
+	g := twoStars(6)
+	p := Betweenness{}.Place(g, 2, rng(1))
+	got := map[graph.NodeID]bool{p[0]: true, p[1]: true}
+	if !got[0] || !got[100] {
+		t.Fatalf("Betweenness top-2 = %v, want hubs", p)
+	}
+}
+
+func TestClosenessPicksCenter(t *testing.T) {
+	g := path(9)
+	p := Closeness{}.Place(g, 1, rng(1))
+	if p[0] != 4 {
+		t.Fatalf("Closeness on path = %v, want center 4", p)
+	}
+}
+
+func TestSocialScorePicksHub(t *testing.T) {
+	g := twoStars(6)
+	p := NewSocialScore().Place(g, 2, rng(1))
+	got := map[graph.NodeID]bool{p[0]: true, p[1]: true}
+	if !got[0] || !got[100] {
+		t.Fatalf("SocialScore top-2 = %v, want hubs", p)
+	}
+}
+
+func TestGreedyCoverCoversStarThenFar(t *testing.T) {
+	g := twoStars(6)
+	p := GreedyCover{}.Place(g, 2, rng(1))
+	got := map[graph.NodeID]bool{p[0]: true, p[1]: true}
+	if !got[0] || !got[100] {
+		t.Fatalf("GreedyCover = %v, want both hubs", p)
+	}
+	covered := CoverageSet(g, p, 1)
+	if len(covered) != g.NumNodes() {
+		t.Fatalf("two hubs should cover all %d nodes, covered %d", g.NumNodes(), len(covered))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Random", "Node Degree", "Community Node Degree",
+		"Clustering Coefficient", "Betweenness", "Closeness", "Social Score", "Greedy Cover"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should error")
+	}
+}
+
+// Property: every algorithm returns min(k,|V|) distinct existing nodes.
+func TestPropertyPlacementsValid(t *testing.T) {
+	algs := append(PaperAlgorithms(), ExtendedAlgorithms()...)
+	f := func(seed int64, kRaw uint8) bool {
+		r := rng(seed)
+		g := graph.New()
+		n := 15
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.2 {
+					g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		k := int(kRaw%20) + 1
+		want := k
+		if want > n {
+			want = n
+		}
+		for _, alg := range algs {
+			p := alg.Place(g, k, r)
+			if len(p) != want || hasDup(p) {
+				t.Logf("%s returned %v for k=%d", alg.Name(), p, k)
+				return false
+			}
+			for _, u := range p {
+				if !g.HasNode(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankWithRandomTiesPermutesTies(t *testing.T) {
+	scores := map[graph.NodeID]float64{1: 5, 2: 5, 3: 5, 4: 5, 5: 1}
+	seen := make(map[graph.NodeID]bool)
+	for s := int64(0); s < 20; s++ {
+		r := rankWithRandomTies(scores, rng(s))
+		if r[4] != 5 {
+			t.Fatalf("lowest score should stay last, got %v", r)
+		}
+		seen[r[0]] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("tie order never varied across seeds: %v", seen)
+	}
+}
+
+func TestSortNodesHelper(t *testing.T) {
+	ids := sortNodes([]graph.NodeID{3, 1, 2})
+	if ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("sortNodes = %v", ids)
+	}
+}

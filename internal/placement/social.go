@@ -1,0 +1,105 @@
+package placement
+
+import (
+	"math/rand"
+
+	"scdn/internal/graph"
+)
+
+// EdgeWeight supplies a weight for a graph edge — typically a pairwise
+// trust score (Section III) or coauthorship count.
+type EdgeWeight func(u, v graph.NodeID) float64
+
+// NodeQuality supplies a per-node quality in [0,1] — typically uptime from
+// the availability model (Section V-A: "QoS metrics can be used to select
+// which participant is likely to be more trustworthy/reliable").
+type NodeQuality func(u graph.NodeID) float64
+
+// TrustWeightedDegree ranks nodes by the sum of their incident edge
+// weights: a replica goes where the most proven trust concentrates. With
+// unit weights it reduces to NodeDegree.
+type TrustWeightedDegree struct {
+	Weights EdgeWeight
+}
+
+// Name implements Algorithm.
+func (TrustWeightedDegree) Name() string { return "Trust-Weighted Degree" }
+
+// Place implements Algorithm.
+func (t TrustWeightedDegree) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	scores := make(map[graph.NodeID]float64, g.NumNodes())
+	for _, u := range g.Nodes() {
+		sum := 0.0
+		for _, v := range g.Neighbors(u) {
+			w := 1.0
+			if t.Weights != nil {
+				w = t.Weights(u, v)
+			}
+			sum += w
+		}
+		scores[u] = sum
+	}
+	ranked := rankWithRandomTies(scores, rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// AvailabilityAwareDegree scores nodes by degree × quality and, like
+// Community Node Degree, forbids adjacent replicas. It realizes the
+// Section V-D idea of "combining socially based algorithms ... with
+// availability graphs": a well-connected node that is rarely online is a
+// poor replica host.
+type AvailabilityAwareDegree struct {
+	Quality NodeQuality
+}
+
+// Name implements Algorithm.
+func (AvailabilityAwareDegree) Name() string { return "Availability-Aware Degree" }
+
+// Place implements Algorithm.
+func (a AvailabilityAwareDegree) Place(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	scores := make(map[graph.NodeID]float64, g.NumNodes())
+	for _, u := range g.Nodes() {
+		q := 1.0
+		if a.Quality != nil {
+			q = a.Quality(u)
+			if q < 0 {
+				q = 0
+			}
+		}
+		scores[u] = float64(g.Degree(u)) * q
+	}
+	ranked := rankWithRandomTies(scores, rng)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	chosen := make([]graph.NodeID, 0, k)
+	blocked := make(map[graph.NodeID]struct{})
+	taken := make(map[graph.NodeID]struct{})
+	for _, u := range ranked {
+		if len(chosen) == k {
+			return chosen
+		}
+		if _, bad := blocked[u]; bad {
+			continue
+		}
+		chosen = append(chosen, u)
+		taken[u] = struct{}{}
+		blocked[u] = struct{}{}
+		for _, v := range g.Neighbors(u) {
+			blocked[v] = struct{}{}
+		}
+	}
+	for _, u := range ranked {
+		if len(chosen) == k {
+			break
+		}
+		if _, dup := taken[u]; !dup {
+			chosen = append(chosen, u)
+			taken[u] = struct{}{}
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,96 @@
+package placement
+
+import (
+	"testing"
+
+	"scdn/internal/graph"
+)
+
+func TestTrustWeightedDegreeReducesToDegree(t *testing.T) {
+	g := twoStars(5)
+	unit := TrustWeightedDegree{} // nil weights = unit
+	p := unit.Place(g, 2, rng(1))
+	got := map[graph.NodeID]bool{p[0]: true, p[1]: true}
+	if !got[0] || !got[100] {
+		t.Fatalf("unit-weight TWD = %v, want hubs", p)
+	}
+}
+
+func TestTrustWeightedDegreeFollowsTrust(t *testing.T) {
+	// Path 0-1-2: node 1 has degree 2, nodes 0 and 2 degree 1. With heavy
+	// trust on edge (0,1) only, node 0's weighted degree (10) beats node
+	// 1's (10+1=11)... so weight edge (2,?) nothing: ranking: 1 (11),
+	// 0 (10), 2 (1).
+	g := path(3)
+	weights := map[[2]graph.NodeID]float64{{0, 1}: 10}
+	alg := TrustWeightedDegree{Weights: func(u, v graph.NodeID) float64 {
+		if u > v {
+			u, v = v, u
+		}
+		if w, ok := weights[[2]graph.NodeID{u, v}]; ok {
+			return w
+		}
+		return 1
+	}}
+	p := alg.Place(g, 2, rng(1))
+	if p[0] != 1 || p[1] != 0 {
+		t.Fatalf("TWD ranking = %v, want [1 0]", p)
+	}
+}
+
+func TestAvailabilityAwareDegreeSkipsFlakyHub(t *testing.T) {
+	// Two bridged stars; hub 0 is nearly always offline, hub 100 is solid.
+	g := twoStars(6)
+	alg := AvailabilityAwareDegree{Quality: func(u graph.NodeID) float64 {
+		if u == 0 {
+			return 0.05
+		}
+		return 0.95
+	}}
+	p := alg.Place(g, 1, rng(1))
+	if p[0] != 100 {
+		t.Fatalf("AAD picked %v, want reliable hub 100", p)
+	}
+}
+
+func TestAvailabilityAwareDegreeNonAdjacent(t *testing.T) {
+	g := twoStars(6)
+	alg := AvailabilityAwareDegree{Quality: func(graph.NodeID) float64 { return 1 }}
+	p := alg.Place(g, 2, rng(1))
+	if len(p) != 2 || g.HasEdge(p[0], p[1]) {
+		t.Fatalf("AAD placed adjacent replicas: %v", p)
+	}
+}
+
+func TestAvailabilityAwareDegreeNegativeQualityClamped(t *testing.T) {
+	g := star(4)
+	alg := AvailabilityAwareDegree{Quality: func(u graph.NodeID) float64 { return -1 }}
+	p := alg.Place(g, 2, rng(1))
+	if len(p) != 2 || hasDup(p) {
+		t.Fatalf("AAD with degenerate quality = %v", p)
+	}
+}
+
+func TestAvailabilityAwareDegreeFallbackFills(t *testing.T) {
+	// Complete graph: after one pick all are blocked; fallback must fill.
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	alg := AvailabilityAwareDegree{}
+	p := alg.Place(g, 3, rng(1))
+	if len(p) != 3 || hasDup(p) {
+		t.Fatalf("fallback = %v", p)
+	}
+}
+
+func TestSocialAlgorithmNames(t *testing.T) {
+	if (TrustWeightedDegree{}).Name() != "Trust-Weighted Degree" {
+		t.Fatal("TWD name wrong")
+	}
+	if (AvailabilityAwareDegree{}).Name() != "Availability-Aware Degree" {
+		t.Fatal("AAD name wrong")
+	}
+}

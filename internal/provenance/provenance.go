@@ -1,0 +1,276 @@
+// Package provenance records the lineage and custody of every dataset in
+// the S-CDN: who created it, which workflow derived it from what, every
+// copy movement between repositories, and every access — the "data
+// provenance management ... and accountability" the paper's vision calls
+// for. The log is append-only; queries reconstruct custody chains and
+// derivation trees.
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"scdn/internal/storage"
+)
+
+// NodeID identifies a user in provenance records.
+type NodeID = int64
+
+// EventKind classifies a provenance record.
+type EventKind int
+
+// Provenance event kinds.
+const (
+	// Created: the dataset first appeared at its origin.
+	Created EventKind = iota
+	// Derived: the dataset was produced from another by a workflow stage.
+	Derived
+	// Replicated: a copy moved to a new holder (CDN placement).
+	Replicated
+	// Accessed: a user fetched or read the dataset.
+	Accessed
+	// Updated: the owner published a new version.
+	Updated
+	// Retired: a replica was dropped (migration or eviction).
+	Retired
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Created:
+		return "created"
+	case Derived:
+		return "derived"
+	case Replicated:
+		return "replicated"
+	case Accessed:
+		return "accessed"
+	case Updated:
+		return "updated"
+	case Retired:
+		return "retired"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one append-only provenance record.
+type Event struct {
+	Seq     uint64
+	At      time.Duration
+	Kind    EventKind
+	Dataset storage.DatasetID
+	// Actor is the user performing or receiving the action (creator,
+	// new holder, accessor).
+	Actor NodeID
+	// Source is the counterpart (the holder served from, the parent
+	// dataset's owner); 0 when not applicable.
+	Source NodeID
+	// Parent is the dataset this one derives from (Derived events).
+	Parent storage.DatasetID
+	// Stage annotates Derived events with the workflow stage name.
+	Stage string
+}
+
+// Log is an append-only provenance store. Not safe for concurrent use.
+type Log struct {
+	events    []Event
+	byDataset map[storage.DatasetID][]int
+	byActor   map[NodeID][]int
+	nextSeq   uint64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{
+		byDataset: make(map[storage.DatasetID][]int),
+		byActor:   make(map[NodeID][]int),
+	}
+}
+
+// append records an event and indexes it.
+func (l *Log) append(e Event) {
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	idx := len(l.events)
+	l.events = append(l.events, e)
+	l.byDataset[e.Dataset] = append(l.byDataset[e.Dataset], idx)
+	l.byActor[e.Actor] = append(l.byActor[e.Actor], idx)
+}
+
+// RecordCreated logs a dataset's first appearance at its origin.
+func (l *Log) RecordCreated(id storage.DatasetID, owner NodeID, at time.Duration) {
+	l.append(Event{At: at, Kind: Created, Dataset: id, Actor: owner})
+}
+
+// RecordDerived logs a workflow derivation: child produced from parent by
+// actor at the given stage.
+func (l *Log) RecordDerived(child, parent storage.DatasetID, actor NodeID, stage string, at time.Duration) {
+	l.append(Event{At: at, Kind: Derived, Dataset: child, Actor: actor, Parent: parent, Stage: stage})
+}
+
+// RecordReplicated logs a copy landing on holder, served from source.
+func (l *Log) RecordReplicated(id storage.DatasetID, holder, source NodeID, at time.Duration) {
+	l.append(Event{At: at, Kind: Replicated, Dataset: id, Actor: holder, Source: source})
+}
+
+// RecordAccessed logs a read/fetch by actor served from source (source 0
+// for local hits).
+func (l *Log) RecordAccessed(id storage.DatasetID, actor, source NodeID, at time.Duration) {
+	l.append(Event{At: at, Kind: Accessed, Dataset: id, Actor: actor, Source: source})
+}
+
+// RecordUpdated logs a new version published by the owner.
+func (l *Log) RecordUpdated(id storage.DatasetID, owner NodeID, at time.Duration) {
+	l.append(Event{At: at, Kind: Updated, Dataset: id, Actor: owner})
+}
+
+// RecordRetired logs a replica drop at holder.
+func (l *Log) RecordRetired(id storage.DatasetID, holder NodeID, at time.Duration) {
+	l.append(Event{At: at, Kind: Retired, Dataset: id, Actor: holder})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// History returns a dataset's events in record order.
+func (l *Log) History(id storage.DatasetID) []Event {
+	idxs := l.byDataset[id]
+	out := make([]Event, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.events[i])
+	}
+	return out
+}
+
+// Activity returns a user's events in record order — the accountability
+// view: everything this participant did or received.
+func (l *Log) Activity(actor NodeID) []Event {
+	idxs := l.byActor[actor]
+	out := make([]Event, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.events[i])
+	}
+	return out
+}
+
+// Lineage returns the derivation chain of a dataset, root first: the IDs
+// of its ancestors (via Derived events) ending with the dataset itself.
+// Cycles (which would indicate log corruption) terminate the walk with an
+// error.
+func (l *Log) Lineage(id storage.DatasetID) ([]storage.DatasetID, error) {
+	var chain []storage.DatasetID
+	seen := make(map[storage.DatasetID]bool)
+	cur := id
+	for {
+		if seen[cur] {
+			return nil, fmt.Errorf("provenance: derivation cycle at %q", cur)
+		}
+		seen[cur] = true
+		chain = append(chain, cur)
+		parent, ok := l.parentOf(cur)
+		if !ok {
+			break
+		}
+		cur = parent
+	}
+	// Reverse: root first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+func (l *Log) parentOf(id storage.DatasetID) (storage.DatasetID, bool) {
+	for _, i := range l.byDataset[id] {
+		if e := l.events[i]; e.Kind == Derived {
+			return e.Parent, true
+		}
+	}
+	return "", false
+}
+
+// Descendants returns every dataset derived (transitively) from id,
+// sorted ascending.
+func (l *Log) Descendants(id storage.DatasetID) []storage.DatasetID {
+	children := make(map[storage.DatasetID][]storage.DatasetID)
+	for _, e := range l.events {
+		if e.Kind == Derived {
+			children[e.Parent] = append(children[e.Parent], e.Dataset)
+		}
+	}
+	var out []storage.DatasetID
+	var walk func(storage.DatasetID)
+	seen := make(map[storage.DatasetID]bool)
+	walk = func(cur storage.DatasetID) {
+		for _, c := range children[cur] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+				walk(c)
+			}
+		}
+	}
+	walk(id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Custody returns the holders that ever kept a copy of the dataset
+// (creator, replicas), sorted ascending, with retired holders excluded
+// when excludeRetired is set.
+func (l *Log) Custody(id storage.DatasetID, excludeRetired bool) []NodeID {
+	holding := make(map[NodeID]bool)
+	for _, i := range l.byDataset[id] {
+		switch e := l.events[i]; e.Kind {
+		case Created, Replicated:
+			holding[e.Actor] = true
+		case Retired:
+			if excludeRetired {
+				delete(holding, e.Actor)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(holding))
+	for n := range holding {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AccessCount returns how many Accessed events the dataset has.
+func (l *Log) AccessCount(id storage.DatasetID) int {
+	n := 0
+	for _, i := range l.byDataset[id] {
+		if l.events[i].Kind == Accessed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteAudit prints a dataset's full history as a human-readable audit
+// trail.
+func (l *Log) WriteAudit(w io.Writer, id storage.DatasetID) error {
+	for _, e := range l.History(id) {
+		var err error
+		switch e.Kind {
+		case Derived:
+			_, err = fmt.Fprintf(w, "%-12v %-10s %q by user %d from %q (stage %s)\n",
+				e.At, e.Kind, e.Dataset, e.Actor, e.Parent, e.Stage)
+		case Replicated, Accessed:
+			_, err = fmt.Fprintf(w, "%-12v %-10s %q by user %d from user %d\n",
+				e.At, e.Kind, e.Dataset, e.Actor, e.Source)
+		default:
+			_, err = fmt.Fprintf(w, "%-12v %-10s %q by user %d\n",
+				e.At, e.Kind, e.Dataset, e.Actor)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	l := NewLog()
+	l.RecordCreated("raw", 1, 0)
+	l.RecordDerived("brain", "raw", 2, "brain-extraction", time.Hour)
+	l.RecordDerived("fa", "brain", 3, "fa-calculation", 2*time.Hour)
+	l.RecordReplicated("fa", 4, 3, 3*time.Hour)
+	l.RecordAccessed("fa", 5, 4, 4*time.Hour)
+	l.RecordUpdated("fa", 3, 5*time.Hour)
+	l.RecordRetired("fa", 4, 6*time.Hour)
+	return l
+}
+
+func TestSequenceAndLen(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 7 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	hist := l.History("fa")
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Seq <= hist[i-1].Seq {
+			t.Fatal("sequence numbers not increasing")
+		}
+	}
+}
+
+func TestLineage(t *testing.T) {
+	l := sampleLog()
+	chain, err := l.Lineage("fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"raw", "brain", "fa"}
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i, id := range chain {
+		if string(id) != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+	// A root dataset's lineage is itself.
+	chain, err = l.Lineage("raw")
+	if err != nil || len(chain) != 1 || chain[0] != "raw" {
+		t.Fatalf("root lineage = %v, %v", chain, err)
+	}
+}
+
+func TestLineageCycleDetected(t *testing.T) {
+	l := NewLog()
+	l.RecordDerived("a", "b", 1, "s", 0)
+	l.RecordDerived("b", "a", 1, "s", 0)
+	if _, err := l.Lineage("a"); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	l := sampleLog()
+	desc := l.Descendants("raw")
+	if len(desc) != 2 || desc[0] != "brain" || desc[1] != "fa" {
+		t.Fatalf("descendants = %v", desc)
+	}
+	if got := l.Descendants("fa"); len(got) != 0 {
+		t.Fatalf("leaf descendants = %v", got)
+	}
+}
+
+func TestCustody(t *testing.T) {
+	l := sampleLog()
+	all := l.Custody("fa", false)
+	if len(all) != 1 || all[0] != 4 {
+		t.Fatalf("custody(all) = %v (fa was only ever replicated to 4)", all)
+	}
+	current := l.Custody("fa", true)
+	if len(current) != 0 {
+		t.Fatalf("custody(current) = %v, want empty after retire", current)
+	}
+	raw := l.Custody("raw", true)
+	if len(raw) != 1 || raw[0] != 1 {
+		t.Fatalf("raw custody = %v", raw)
+	}
+}
+
+func TestActivityAccountability(t *testing.T) {
+	l := sampleLog()
+	acts := l.Activity(3)
+	// User 3: derived "fa" and updated "fa".
+	if len(acts) != 2 || acts[0].Kind != Derived || acts[1].Kind != Updated {
+		t.Fatalf("activity = %+v", acts)
+	}
+	if got := l.Activity(99); len(got) != 0 {
+		t.Fatal("stranger has activity")
+	}
+}
+
+func TestAccessCount(t *testing.T) {
+	l := sampleLog()
+	if n := l.AccessCount("fa"); n != 1 {
+		t.Fatalf("access count = %d", n)
+	}
+	if n := l.AccessCount("raw"); n != 0 {
+		t.Fatalf("raw access count = %d", n)
+	}
+}
+
+func TestWriteAudit(t *testing.T) {
+	l := sampleLog()
+	var sb strings.Builder
+	if err := l.WriteAudit(&sb, "fa"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"derived", "fa-calculation", "replicated", "accessed", "updated", "retired"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		Created: "created", Derived: "derived", Replicated: "replicated",
+		Accessed: "accessed", Updated: "updated", Retired: "retired",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if EventKind(77).String() != "event(77)" {
+		t.Error("unknown kind String wrong")
+	}
+}

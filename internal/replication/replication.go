@@ -1,0 +1,201 @@
+// Package replication keeps dataset replicas consistent as their contents
+// evolve: owners publish new versions, and an anti-entropy protocol
+// propagates updates between online replica holders until every copy
+// converges — the My3-style eventual consistency the paper builds on
+// ("updates propagate amongst replicas until profiles are eventually
+// consistent", Section VII). The package tracks per-replica versions and
+// exposes the staleness and convergence metrics the S-CDN reports.
+package replication
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scdn/internal/storage"
+)
+
+// NodeID identifies a replica holder.
+type NodeID = int64
+
+// Version is a dataset's monotonically increasing content version.
+type Version uint64
+
+// replicaState is one holder's view of one dataset.
+type replicaState struct {
+	version Version
+	// updatedAt is when this holder last advanced its version.
+	updatedAt time.Duration
+}
+
+// Tracker maintains the version state of every replica of every dataset
+// and runs anti-entropy exchanges. Not safe for concurrent use.
+type Tracker struct {
+	// state[dataset][node] = that node's replica state.
+	state map[storage.DatasetID]map[NodeID]*replicaState
+	// latest[dataset] = the newest published version.
+	latest map[storage.DatasetID]Version
+	// published[dataset] = when the newest version appeared.
+	published map[storage.DatasetID]time.Duration
+
+	// Exchanges counts anti-entropy syncs performed; Converged counts
+	// datasets that reached full convergence at least once after an
+	// update; ConvergenceDelay records publish→all-replicas-current
+	// delays in seconds.
+	Exchanges        uint64
+	ConvergenceDelay []float64
+	converged        map[storage.DatasetID]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		state:     make(map[storage.DatasetID]map[NodeID]*replicaState),
+		latest:    make(map[storage.DatasetID]Version),
+		published: make(map[storage.DatasetID]time.Duration),
+		converged: make(map[storage.DatasetID]bool),
+	}
+}
+
+// AddReplica registers a holder for a dataset at the current latest
+// version (a fresh copy is current by construction).
+func (t *Tracker) AddReplica(id storage.DatasetID, node NodeID, now time.Duration) {
+	if t.state[id] == nil {
+		t.state[id] = make(map[NodeID]*replicaState)
+	}
+	t.state[id][node] = &replicaState{version: t.latest[id], updatedAt: now}
+}
+
+// RemoveReplica forgets a holder.
+func (t *Tracker) RemoveReplica(id storage.DatasetID, node NodeID) {
+	delete(t.state[id], node)
+}
+
+// Publish records a new content version authored at `by` (typically the
+// origin): that holder becomes current, every other copy is now stale.
+func (t *Tracker) Publish(id storage.DatasetID, by NodeID, now time.Duration) Version {
+	t.latest[id]++
+	t.published[id] = now
+	t.converged[id] = false
+	if t.state[id] == nil {
+		t.state[id] = make(map[NodeID]*replicaState)
+	}
+	t.state[id][by] = &replicaState{version: t.latest[id], updatedAt: now}
+	return t.latest[id]
+}
+
+// VersionAt returns a holder's replica version (0 if not a holder).
+func (t *Tracker) VersionAt(id storage.DatasetID, node NodeID) Version {
+	if s, ok := t.state[id][node]; ok {
+		return s.version
+	}
+	return 0
+}
+
+// Latest returns the newest published version of a dataset.
+func (t *Tracker) Latest(id storage.DatasetID) Version { return t.latest[id] }
+
+// Stale reports whether a holder's copy is behind the latest version.
+func (t *Tracker) Stale(id storage.DatasetID, node NodeID) bool {
+	return t.VersionAt(id, node) < t.latest[id]
+}
+
+// StaleReplicas returns the holders of a dataset whose copies are behind,
+// sorted by node ID.
+func (t *Tracker) StaleReplicas(id storage.DatasetID) []NodeID {
+	var out []NodeID
+	for n := range t.state[id] {
+		if t.Stale(id, n) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sync performs one anti-entropy exchange between two holders of a
+// dataset: both end at the pair's maximum version. It returns whether
+// either side changed. Unknown holders are an error — sync never
+// resurrects dropped replicas.
+func (t *Tracker) Sync(id storage.DatasetID, a, b NodeID, now time.Duration) (bool, error) {
+	sa, okA := t.state[id][a]
+	sb, okB := t.state[id][b]
+	if !okA || !okB {
+		return false, fmt.Errorf("replication: sync %q between non-holders %d,%d", id, a, b)
+	}
+	t.Exchanges++
+	if sa.version == sb.version {
+		return false, nil
+	}
+	max := sa.version
+	if sb.version > max {
+		max = sb.version
+	}
+	sa.version, sb.version = max, max
+	sa.updatedAt, sb.updatedAt = now, now
+	t.noteConvergence(id, now)
+	return true, nil
+}
+
+// noteConvergence records the publish→convergence delay the first time
+// all holders reach the latest version after a publish.
+func (t *Tracker) noteConvergence(id storage.DatasetID, now time.Duration) {
+	if t.converged[id] {
+		return
+	}
+	for n := range t.state[id] {
+		if t.Stale(id, n) {
+			return
+		}
+	}
+	t.converged[id] = true
+	t.ConvergenceDelay = append(t.ConvergenceDelay, (now - t.published[id]).Seconds())
+}
+
+// Converged reports whether every holder of the dataset is current.
+func (t *Tracker) Converged(id storage.DatasetID) bool {
+	for n := range t.state[id] {
+		if t.Stale(id, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// StalenessRatio returns the fraction of replica copies (across all
+// datasets) that are behind their latest version; 0 when empty.
+func (t *Tracker) StalenessRatio() float64 {
+	total, stale := 0, 0
+	for id, holders := range t.state {
+		for n := range holders {
+			total++
+			if t.Stale(id, n) {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stale) / float64(total)
+}
+
+// Datasets returns tracked dataset IDs sorted ascending.
+func (t *Tracker) Datasets() []storage.DatasetID {
+	out := make([]storage.DatasetID, 0, len(t.state))
+	for id := range t.state {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Holders returns a dataset's replica holders sorted ascending.
+func (t *Tracker) Holders(id storage.DatasetID) []NodeID {
+	out := make([]NodeID, 0, len(t.state[id]))
+	for n := range t.state[id] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

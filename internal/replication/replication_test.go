@@ -1,0 +1,181 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPublishAndStaleness(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	tr.AddReplica("d", 2, 0)
+	if tr.StalenessRatio() != 0 {
+		t.Fatal("fresh replicas should be current")
+	}
+	v := tr.Publish("d", 1, time.Second)
+	if v != 1 || tr.Latest("d") != 1 {
+		t.Fatalf("version = %d", v)
+	}
+	if !tr.Stale("d", 2) || tr.Stale("d", 1) {
+		t.Fatal("staleness wrong after publish")
+	}
+	if got := tr.StaleReplicas("d"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("stale replicas = %v", got)
+	}
+	if tr.StalenessRatio() != 0.5 {
+		t.Fatalf("staleness ratio = %v", tr.StalenessRatio())
+	}
+	if tr.Converged("d") {
+		t.Fatal("should not be converged")
+	}
+}
+
+func TestSyncConverges(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	tr.AddReplica("d", 2, 0)
+	tr.AddReplica("d", 3, 0)
+	tr.Publish("d", 1, 10*time.Second)
+
+	changed, err := tr.Sync("d", 1, 2, 20*time.Second)
+	if err != nil || !changed {
+		t.Fatalf("sync = %v, %v", changed, err)
+	}
+	if tr.Converged("d") {
+		t.Fatal("node 3 still stale")
+	}
+	// Propagation through an intermediate: 2 syncs 3.
+	changed, _ = tr.Sync("d", 2, 3, 30*time.Second)
+	if !changed || !tr.Converged("d") {
+		t.Fatal("indirect propagation failed")
+	}
+	// Convergence delay recorded: 30s - 10s = 20s.
+	if len(tr.ConvergenceDelay) != 1 || tr.ConvergenceDelay[0] != 20 {
+		t.Fatalf("convergence delays = %v", tr.ConvergenceDelay)
+	}
+	// Re-sync of current nodes: no change, counted as exchange.
+	changed, _ = tr.Sync("d", 1, 3, 40*time.Second)
+	if changed {
+		t.Fatal("no-op sync reported change")
+	}
+	if tr.Exchanges != 3 {
+		t.Fatalf("exchanges = %d", tr.Exchanges)
+	}
+}
+
+func TestSyncNonHolder(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	if _, err := tr.Sync("d", 1, 9, 0); err == nil {
+		t.Fatal("sync with non-holder accepted")
+	}
+	if _, err := tr.Sync("ghost", 1, 2, 0); err == nil {
+		t.Fatal("sync of unknown dataset accepted")
+	}
+}
+
+func TestRemoveReplicaUnblocksConvergence(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	tr.AddReplica("d", 2, 0)
+	tr.Publish("d", 1, 0)
+	// Node 2 disappears (left the CDN) — convergence is about remaining
+	// holders.
+	tr.RemoveReplica("d", 2)
+	if !tr.Converged("d") {
+		t.Fatal("dataset with only the origin should be converged")
+	}
+	if got := tr.Holders("d"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("holders = %v", got)
+	}
+}
+
+func TestFreshReplicaJoinsCurrent(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	tr.Publish("d", 1, 0)
+	tr.Publish("d", 1, time.Second)
+	// A new holder copies the latest content at join time.
+	tr.AddReplica("d", 5, 2*time.Second)
+	if tr.Stale("d", 5) {
+		t.Fatal("fresh replica should hold the latest version")
+	}
+}
+
+func TestMultipleUpdatesMonotone(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("d", 1, 0)
+	tr.AddReplica("d", 2, 0)
+	for i := 0; i < 5; i++ {
+		tr.Publish("d", 1, time.Duration(i)*time.Second)
+	}
+	if tr.Latest("d") != 5 {
+		t.Fatalf("latest = %d", tr.Latest("d"))
+	}
+	if tr.VersionAt("d", 2) != 0 {
+		t.Fatalf("node 2 version = %d, want 0 (never synced)", tr.VersionAt("d", 2))
+	}
+	tr.Sync("d", 1, 2, 10*time.Second)
+	if tr.VersionAt("d", 2) != 5 {
+		t.Fatal("sync should jump straight to the newest version")
+	}
+}
+
+func TestDatasetsSorted(t *testing.T) {
+	tr := NewTracker()
+	tr.AddReplica("zz", 1, 0)
+	tr.AddReplica("aa", 1, 0)
+	ids := tr.Datasets()
+	if len(ids) != 2 || ids[0] != "aa" {
+		t.Fatalf("datasets = %v", ids)
+	}
+}
+
+// Property: random publish/sync sequences keep every replica version
+// bounded by the latest, versions never decrease, and a full pairwise
+// sync round always converges.
+func TestPropertyAntiEntropyConverges(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker()
+		nodes := []NodeID{1, 2, 3, 4, 5}
+		for _, n := range nodes {
+			tr.AddReplica("d", n, 0)
+		}
+		prev := make(map[NodeID]Version)
+		now := time.Duration(0)
+		for op := 0; op < int(opsRaw%40)+5; op++ {
+			now += time.Second
+			if rng.Float64() < 0.3 {
+				tr.Publish("d", nodes[rng.Intn(len(nodes))], now)
+			} else {
+				a := nodes[rng.Intn(len(nodes))]
+				b := nodes[rng.Intn(len(nodes))]
+				if a != b {
+					tr.Sync("d", a, b, now)
+				}
+			}
+			for _, n := range nodes {
+				v := tr.VersionAt("d", n)
+				if v > tr.Latest("d") || v < prev[n] {
+					return false
+				}
+				prev[n] = v
+			}
+		}
+		// One full round of pairwise syncs with the most-current node
+		// first guarantees convergence.
+		for _, n := range nodes[1:] {
+			tr.Sync("d", nodes[0], n, now)
+		}
+		for _, n := range nodes[1:] {
+			tr.Sync("d", nodes[0], n, now)
+		}
+		return tr.Converged("d")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		if e.Pending() > 10000 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	// Self-perpetuating event chain: measures pure dispatch cost.
+	e := New(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	e.Run(0)
+}
+
+func BenchmarkRandStream(b *testing.B) {
+	e := New(1)
+	r := e.Rand("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}

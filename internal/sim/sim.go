@@ -1,0 +1,191 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, a binary-heap event queue, and named RNG streams. All
+// S-CDN dynamics — transfers, churn, client requests, allocation-server
+// maintenance — run as events on this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time. The zero value is the simulation epoch.
+type Time time.Duration
+
+// Seconds returns the time as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts back to a time.Duration offset from the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	dead bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// At returns the event's scheduled time.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. Create with New; not safe for
+// concurrent use (simulations are single-threaded by design so results are
+// reproducible).
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	seed    int64
+	streams map[string]*rand.Rand
+	// processed counts fired (non-cancelled) events.
+	processed uint64
+}
+
+// New returns an engine whose RNG streams derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns how many events have fired.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are queued (including cancelled ones not
+// yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Rand returns a named deterministic RNG stream. The same (seed, name)
+// always yields the same sequence, independent of other streams' usage.
+func (e *Engine) Rand(name string) *rand.Rand {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	r := rand.New(rand.NewSource(e.seed ^ int64(h)))
+	e.streams[name] = r
+	return r
+}
+
+// Schedule queues fn to run after delay. Negative delays run "now" (at the
+// current time, after already-queued same-time events). It returns the
+// Event so callers may cancel it.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{at: e.now + Time(delay), seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt queues fn at an absolute virtual time. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		e.processed++
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or maxEvents have fired
+// (0 = unlimited). It returns the number of events fired.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	fired := uint64(0)
+	for maxEvents == 0 || fired < maxEvents {
+		if !e.Step() {
+			break
+		}
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the clock
+// to exactly deadline afterwards. Events scheduled beyond the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Ticker schedules fn every interval until it returns false or the engine
+// drains. The first firing happens one interval from now.
+func (e *Engine) Ticker(interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(interval, tick)
+		}
+	}
+	e.Schedule(interval, tick)
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("processed = %d, want 0", e.Processed())
+	}
+}
+
+func TestCancelTwiceHarmless(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	e.Run(0)
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != Time(time.Second) {
+				t.Errorf("negative delay ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestScheduleAtClampsPast(t *testing.T) {
+	e := New(1)
+	e.Schedule(2*time.Second, func() {
+		e.ScheduleAt(Time(time.Second), func() {
+			if e.Now() < Time(2*time.Second) {
+				t.Error("past-scheduled event ran before now")
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	if fired := e.Run(4); fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*time.Second, func() { fired = append(fired, i) })
+	}
+	e.RunUntil(Time(3 * time.Second))
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want first 3", fired)
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("now = %v, want 3s", e.Now())
+	}
+	e.RunUntil(Time(10 * time.Second))
+	if len(fired) != 5 {
+		t.Fatalf("fired = %v, want all 5", fired)
+	}
+	if e.Now() != Time(10*time.Second) {
+		t.Fatalf("now = %v, want clamped to deadline 10s", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Ticker(time.Second, func() bool {
+		count++
+		return count < 5
+	})
+	e.Run(0)
+	if count != 5 {
+		t.Fatalf("ticker fired %d times, want 5", count)
+	}
+	if e.Now() != Time(5*time.Second) {
+		t.Fatalf("now = %v, want 5s", e.Now())
+	}
+}
+
+func TestTickerPanicsOnZeroInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Ticker(0, func() bool { return false })
+}
+
+func TestRandStreamsIndependentAndDeterministic(t *testing.T) {
+	e1 := New(42)
+	e2 := New(42)
+	// Consuming stream "a" must not perturb stream "b".
+	_ = e1.Rand("a").Float64()
+	b1 := e1.Rand("b").Float64()
+	b2 := e2.Rand("b").Float64()
+	if b1 != b2 {
+		t.Fatalf("stream b differs despite same seed: %v vs %v", b1, b2)
+	}
+	a1 := New(42).Rand("a").Float64()
+	a2 := New(43).Rand("a").Float64()
+	if a1 == a2 {
+		t.Log("different seeds gave same first draw (unlikely)")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	ti := Time(1500 * time.Millisecond)
+	if ti.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", ti.Seconds())
+	}
+	if ti.Duration() != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", ti.Duration())
+	}
+	if ti.String() != "1.5s" {
+		t.Fatalf("String = %q", ti.String())
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of
+// insertion order.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		violated := false
+		last := Time(-1)
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if e.Now() < last {
+					violated = true
+				}
+				last = e.Now()
+			})
+		}
+		e.Run(0)
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from callbacks preserves ordering.
+func TestPropertyNestedScheduling(t *testing.T) {
+	f := func(seed int64) bool {
+		e := New(seed)
+		rng := e.Rand("gen")
+		var times []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			times = append(times, e.Now())
+			if depth < 3 {
+				n := rng.Intn(3)
+				for i := 0; i < n; i++ {
+					e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.Schedule(0, func() { spawn(0) })
+		e.Run(10000)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package socialnet is the in-process social network platform the S-CDN
+// builds on: users with profile properties, typed relationships, groups
+// representing collaborations, and a token-based authentication service.
+// It stands in for the paper's Facebook-like platform, exposing the same
+// capabilities the architecture consumes — identity, the social graph,
+// group membership, and credentials.
+package socialnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"scdn/internal/graph"
+)
+
+// UserID identifies a platform user; it doubles as the social-graph node.
+type UserID = graph.NodeID
+
+// RelationshipType classifies a social tie.
+type RelationshipType int
+
+// Relationship types, ordered roughly by the strength the trust model
+// assigns them.
+const (
+	Acquaintance RelationshipType = iota
+	Colleague
+	Coauthor
+	ProjectPartner
+)
+
+func (r RelationshipType) String() string {
+	switch r {
+	case Acquaintance:
+		return "acquaintance"
+	case Colleague:
+		return "colleague"
+	case Coauthor:
+		return "coauthor"
+	case ProjectPartner:
+		return "project-partner"
+	default:
+		return fmt.Sprintf("relationship(%d)", int(r))
+	}
+}
+
+// Profile holds the user properties the CDN algorithms consume
+// (Section V-C: "key user properties such as research interests or
+// current location").
+type Profile struct {
+	Name      string
+	SiteID    int // home site in the network model
+	Interests []string
+}
+
+// Relationship is a directed view of a social tie (stored symmetrically).
+type Relationship struct {
+	Peer     UserID
+	Type     RelationshipType
+	Strength float64 // application-defined tie strength, e.g. coauthorship count
+}
+
+// Platform is the social network. Safe for concurrent use.
+type Platform struct {
+	mu     sync.RWMutex
+	users  map[UserID]*Profile
+	ties   map[UserID]map[UserID]*Relationship
+	groups map[string]map[UserID]struct{}
+	auth   *AuthService
+}
+
+// New creates an empty platform with its own auth service.
+func New(authSeed int64) *Platform {
+	return &Platform{
+		users:  make(map[UserID]*Profile),
+		ties:   make(map[UserID]map[UserID]*Relationship),
+		groups: make(map[string]map[UserID]struct{}),
+		auth:   NewAuthService(authSeed),
+	}
+}
+
+// Auth returns the platform's authentication service.
+func (p *Platform) Auth() *AuthService { return p.auth }
+
+// Register adds a user. Registering an existing ID returns an error.
+func (p *Platform) Register(id UserID, profile Profile) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.users[id]; dup {
+		return fmt.Errorf("socialnet: user %d already registered", id)
+	}
+	cp := profile
+	cp.Interests = append([]string(nil), profile.Interests...)
+	p.users[id] = &cp
+	p.ties[id] = make(map[UserID]*Relationship)
+	return nil
+}
+
+// ProfileOf returns a copy of the user's profile.
+func (p *Platform) ProfileOf(id UserID) (Profile, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	prof, ok := p.users[id]
+	if !ok {
+		return Profile{}, fmt.Errorf("socialnet: unknown user %d", id)
+	}
+	cp := *prof
+	cp.Interests = append([]string(nil), prof.Interests...)
+	return cp, nil
+}
+
+// NumUsers returns the registered-user count.
+func (p *Platform) NumUsers() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.users)
+}
+
+// Connect records a symmetric relationship between two users, overwriting
+// any existing tie. Self-ties and unknown users are errors.
+func (p *Platform) Connect(a, b UserID, typ RelationshipType, strength float64) error {
+	if a == b {
+		return errors.New("socialnet: self relationship")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[a]; !ok {
+		return fmt.Errorf("socialnet: unknown user %d", a)
+	}
+	if _, ok := p.users[b]; !ok {
+		return fmt.Errorf("socialnet: unknown user %d", b)
+	}
+	p.ties[a][b] = &Relationship{Peer: b, Type: typ, Strength: strength}
+	p.ties[b][a] = &Relationship{Peer: a, Type: typ, Strength: strength}
+	return nil
+}
+
+// Connected reports whether a tie exists.
+func (p *Platform) Connected(a, b UserID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.ties[a][b]
+	return ok
+}
+
+// RelationshipsOf returns the user's ties sorted by peer ID.
+func (p *Platform) RelationshipsOf(id UserID) []Relationship {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Relationship, 0, len(p.ties[id]))
+	for _, r := range p.ties[id] {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// CreateGroup creates an empty named group (idempotent).
+func (p *Platform) CreateGroup(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.groups[name]; !ok {
+		p.groups[name] = make(map[UserID]struct{})
+	}
+}
+
+// JoinGroup adds a user to a group, creating the group if needed.
+func (p *Platform) JoinGroup(name string, id UserID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[id]; !ok {
+		return fmt.Errorf("socialnet: unknown user %d", id)
+	}
+	g, ok := p.groups[name]
+	if !ok {
+		g = make(map[UserID]struct{})
+		p.groups[name] = g
+	}
+	g[id] = struct{}{}
+	return nil
+}
+
+// LeaveGroup removes a user from a group (no-op if absent).
+func (p *Platform) LeaveGroup(name string, id UserID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.groups[name], id)
+}
+
+// InGroup reports group membership.
+func (p *Platform) InGroup(name string, id UserID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.groups[name][id]
+	return ok
+}
+
+// GroupMembers returns a group's members sorted ascending.
+func (p *Platform) GroupMembers(name string) []UserID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]UserID, 0, len(p.groups[name]))
+	for id := range p.groups[name] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SocialGraph exports the platform's tie structure as a graph for the
+// placement and community algorithms. Users without ties appear as
+// isolated nodes.
+func (p *Platform) SocialGraph() *graph.Graph {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	g := graph.New()
+	for id := range p.users {
+		g.AddNode(id)
+	}
+	for a, peers := range p.ties {
+		for b := range peers {
+			if a < b {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// GroupGraph exports the tie structure restricted to a group's members.
+func (p *Platform) GroupGraph(name string) *graph.Graph {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	g := graph.New()
+	members := p.groups[name]
+	for id := range members {
+		g.AddNode(id)
+	}
+	for a := range members {
+		for b := range p.ties[a] {
+			if _, ok := members[b]; ok && a < b {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}

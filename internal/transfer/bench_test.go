@@ -1,0 +1,27 @@
+package transfer
+
+import (
+	"testing"
+
+	"scdn/internal/netmodel"
+	"scdn/internal/sim"
+)
+
+func BenchmarkTransferEngine(b *testing.B) {
+	net, _, err := netmodel.GenerateSites(16, 1, 50, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New(1)
+	e := NewEngine(net, eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Submit(i%16, (i+5)%16, 1e8, nil); err != nil {
+			b.Fatal(err)
+		}
+		if eng.Pending() > 4096 {
+			eng.Run(0)
+		}
+	}
+	eng.Run(0)
+}

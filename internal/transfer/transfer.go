@@ -1,0 +1,185 @@
+// Package transfer simulates the third-party transfer service the paper
+// delegates to GlobusTransfer (Section V-A): asynchronous transfers
+// between sites with bandwidth sharing per site, transient failures, and
+// automatic retries. It runs entirely on the sim engine; completion
+// callbacks fire in virtual time.
+package transfer
+
+import (
+	"fmt"
+	"time"
+
+	"scdn/internal/netmodel"
+	"scdn/internal/sim"
+)
+
+// Status is a transfer's terminal state.
+type Status int
+
+// Transfer outcomes.
+const (
+	Completed Status = iota
+	Failed
+)
+
+func (s Status) String() string {
+	if s == Completed {
+		return "completed"
+	}
+	return "failed"
+}
+
+// Result describes a finished transfer.
+type Result struct {
+	ID       uint64
+	Status   Status
+	Bytes    int64
+	SrcSite  int
+	DstSite  int
+	Started  sim.Time
+	Finished sim.Time
+	Attempts int
+	// ThroughputMbps is the achieved goodput over the whole transfer
+	// (including retries); 0 for failed transfers.
+	ThroughputMbps float64
+}
+
+// Engine executes transfers. Create with NewEngine.
+type Engine struct {
+	net    *netmodel.Network
+	eng    *sim.Engine
+	nextID uint64
+	// FailureProb is the per-attempt probability of a transient failure.
+	FailureProb float64
+	// MaxAttempts bounds retries (GlobusTransfer-style reliability).
+	MaxAttempts int
+	// RetryBackoff delays re-attempts.
+	RetryBackoff time.Duration
+	// StreamsPerTransfer is the GridFTP-style parallel-stream count per
+	// transfer (GlobusTransfer's trick): under contention a transfer with
+	// S streams receives S shares of the bottleneck instead of one.
+	// Minimum 1.
+	StreamsPerTransfer int
+	// activeFlows tracks concurrent stream counts per site (both
+	// directions count toward a site's total) for bandwidth sharing.
+	activeFlows map[int]int
+	// Completed / FailedCount / BytesMoved are engine-level totals.
+	CompletedCount uint64
+	FailedCount    uint64
+	BytesMoved     int64
+}
+
+// NewEngine binds a transfer engine to a network model and simulator.
+func NewEngine(net *netmodel.Network, eng *sim.Engine) *Engine {
+	return &Engine{
+		net:                net,
+		eng:                eng,
+		FailureProb:        0.02,
+		MaxAttempts:        3,
+		RetryBackoff:       5 * time.Second,
+		StreamsPerTransfer: 1,
+		activeFlows:        make(map[int]int),
+	}
+}
+
+// ActiveFlows returns the current flow count at a site.
+func (e *Engine) ActiveFlows(site int) int { return e.activeFlows[site] }
+
+// Submit schedules an asynchronous transfer of bytes from srcSite to
+// dstSite; done fires in virtual time with the result. Submit itself
+// validates sites and size synchronously.
+func (e *Engine) Submit(srcSite, dstSite int, bytes int64, done func(Result)) error {
+	if bytes <= 0 {
+		return fmt.Errorf("transfer: non-positive size %d", bytes)
+	}
+	if _, ok := e.net.Site(srcSite); !ok {
+		return fmt.Errorf("transfer: unknown source site %d", srcSite)
+	}
+	if _, ok := e.net.Site(dstSite); !ok {
+		return fmt.Errorf("transfer: unknown destination site %d", dstSite)
+	}
+	e.nextID++
+	id := e.nextID
+	started := e.eng.Now()
+	e.attempt(id, srcSite, dstSite, bytes, 1, started, done)
+	return nil
+}
+
+func (e *Engine) attempt(id uint64, src, dst int, bytes int64, attempt int, started sim.Time, done func(Result)) {
+	// Same-site transfers are instantaneous local copies.
+	if src == dst {
+		e.eng.Schedule(0, func() {
+			e.finish(Result{ID: id, Status: Completed, Bytes: bytes, SrcSite: src, DstSite: dst,
+				Started: started, Finished: e.eng.Now(), Attempts: attempt,
+				ThroughputMbps: e.net.BackboneMbps}, done)
+		})
+		return
+	}
+	streams := e.StreamsPerTransfer
+	if streams < 1 {
+		streams = 1
+	}
+	existing := e.activeFlows[src]
+	if f := e.activeFlows[dst]; f > existing {
+		existing = f
+	}
+	// This transfer receives `streams` shares of the bottleneck among all
+	// streams on the busier endpoint: share = bw × streams/(existing+streams).
+	// Express that as an equivalent single-flow transfer of scaled size.
+	scaled := bytes * int64(existing+streams) / int64(streams)
+	if scaled < 1 {
+		scaled = 1
+	}
+	dur, err := e.net.TransferTime(src, dst, scaled, 1)
+	if err != nil {
+		// Unreachable after Submit's validation, but fail safe.
+		e.eng.Schedule(0, func() {
+			e.finish(Result{ID: id, Status: Failed, Bytes: bytes, SrcSite: src, DstSite: dst,
+				Started: started, Finished: e.eng.Now(), Attempts: attempt}, done)
+		})
+		return
+	}
+	e.activeFlows[src] += streams
+	e.activeFlows[dst] += streams
+	fails := e.eng.Rand("transfer-failures").Float64() < e.FailureProb
+	if fails {
+		// A transient failure surfaces after a fraction of the transfer.
+		frac := 0.1 + 0.8*e.eng.Rand("transfer-failures").Float64()
+		dur = time.Duration(float64(dur) * frac)
+	}
+	e.eng.Schedule(dur, func() {
+		e.activeFlows[src] -= streams
+		e.activeFlows[dst] -= streams
+		if !fails {
+			elapsed := (e.eng.Now() - started).Duration().Seconds()
+			tput := 0.0
+			if elapsed > 0 {
+				tput = float64(bytes) * 8 / 1e6 / elapsed
+			}
+			e.finish(Result{ID: id, Status: Completed, Bytes: bytes, SrcSite: src, DstSite: dst,
+				Started: started, Finished: e.eng.Now(), Attempts: attempt,
+				ThroughputMbps: tput}, done)
+			return
+		}
+		if attempt >= e.MaxAttempts {
+			e.finish(Result{ID: id, Status: Failed, Bytes: bytes, SrcSite: src, DstSite: dst,
+				Started: started, Finished: e.eng.Now(), Attempts: attempt}, done)
+			return
+		}
+		e.eng.Schedule(e.RetryBackoff, func() {
+			e.attempt(id, src, dst, bytes, attempt+1, started, done)
+		})
+	})
+}
+
+func (e *Engine) finish(r Result, done func(Result)) {
+	if r.Status == Completed {
+		e.CompletedCount++
+		e.BytesMoved += r.Bytes
+	} else {
+		e.FailedCount++
+	}
+	if done != nil {
+		done(r)
+	}
+}

@@ -1,0 +1,249 @@
+package transfer
+
+import (
+	"testing"
+	"time"
+
+	"scdn/internal/netmodel"
+	"scdn/internal/sim"
+)
+
+func setup(t *testing.T, failureProb float64) (*Engine, *sim.Engine) {
+	t.Helper()
+	net := netmodel.NewNetwork(1)
+	net.JitterFrac = 0
+	for i := 0; i < 3; i++ {
+		err := net.AddSite(&netmodel.Site{
+			ID: i, Lat: float64(i * 10), Lon: float64(i * 10),
+			UplinkMbps: 100, DownlinkMbps: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sim.New(7)
+	e := NewEngine(net, eng)
+	e.FailureProb = failureProb
+	return e, eng
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e, _ := setup(t, 0)
+	if err := e.Submit(0, 1, 0, nil); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if err := e.Submit(9, 1, 100, nil); err == nil {
+		t.Fatal("unknown src accepted")
+	}
+	if err := e.Submit(0, 9, 100, nil); err == nil {
+		t.Fatal("unknown dst accepted")
+	}
+}
+
+func TestTransferCompletes(t *testing.T) {
+	e, eng := setup(t, 0)
+	var got *Result
+	if err := e.Submit(0, 1, 100e6, func(r Result) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if got == nil || got.Status != Completed {
+		t.Fatalf("result = %+v", got)
+	}
+	// 100 MB at 100 Mbps ≈ 8 s (plus small RTT).
+	secs := (got.Finished - got.Started).Duration().Seconds()
+	if secs < 7 || secs > 10 {
+		t.Fatalf("duration = %vs, want ~8", secs)
+	}
+	if got.ThroughputMbps < 80 || got.ThroughputMbps > 101 {
+		t.Fatalf("throughput = %v", got.ThroughputMbps)
+	}
+	if e.CompletedCount != 1 || e.BytesMoved != 100e6 {
+		t.Fatalf("engine totals wrong: %d completed, %d bytes", e.CompletedCount, e.BytesMoved)
+	}
+}
+
+func TestSameSiteInstant(t *testing.T) {
+	e, eng := setup(t, 1.0) // even certain failure doesn't affect local copies
+	var got *Result
+	e.Submit(2, 2, 1e9, func(r Result) { got = &r })
+	eng.Run(0)
+	if got == nil || got.Status != Completed {
+		t.Fatalf("result = %+v", got)
+	}
+	if got.Finished != got.Started {
+		t.Fatal("same-site transfer should be instantaneous")
+	}
+}
+
+func TestRetriesUntilFailure(t *testing.T) {
+	e, eng := setup(t, 1.0) // always fails
+	e.MaxAttempts = 3
+	var got *Result
+	e.Submit(0, 1, 10e6, func(r Result) { got = &r })
+	eng.Run(0)
+	if got == nil || got.Status != Failed {
+		t.Fatalf("result = %+v", got)
+	}
+	if got.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", got.Attempts)
+	}
+	if e.FailedCount != 1 || e.CompletedCount != 0 {
+		t.Fatal("engine totals wrong")
+	}
+}
+
+func TestFlowAccountingReturnsToZero(t *testing.T) {
+	e, eng := setup(t, 0.3)
+	done := 0
+	for i := 0; i < 20; i++ {
+		e.Submit(0, 1, 5e6, func(Result) { done++ })
+		e.Submit(1, 2, 5e6, func(Result) { done++ })
+	}
+	eng.Run(0)
+	if done != 40 {
+		t.Fatalf("done = %d, want 40", done)
+	}
+	for site := 0; site < 3; site++ {
+		if f := e.ActiveFlows(site); f != 0 {
+			t.Fatalf("site %d still has %d active flows", site, f)
+		}
+	}
+	if e.CompletedCount+e.FailedCount != 40 {
+		t.Fatalf("totals = %d+%d", e.CompletedCount, e.FailedCount)
+	}
+}
+
+func TestConcurrentFlowsSlowDown(t *testing.T) {
+	// Two concurrent transfers on the same path should take longer than a
+	// lone one, because the second submission sees an active flow.
+	e1, eng1 := setup(t, 0)
+	var lone Result
+	e1.Submit(0, 1, 50e6, func(r Result) { lone = r })
+	eng1.Run(0)
+
+	e2, eng2 := setup(t, 0)
+	var results []Result
+	e2.Submit(0, 1, 50e6, func(r Result) { results = append(results, r) })
+	e2.Submit(0, 1, 50e6, func(r Result) { results = append(results, r) })
+	eng2.Run(0)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	loneDur := (lone.Finished - lone.Started).Duration()
+	secondDur := (results[1].Finished - results[1].Started).Duration()
+	if secondDur <= loneDur {
+		t.Fatalf("contended transfer (%v) should be slower than lone (%v)", secondDur, loneDur)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	// With a moderate failure probability and enough attempts, transfers
+	// should mostly succeed; verify the retry path produces Completed
+	// results with Attempts > 1 somewhere in a batch.
+	e, eng := setup(t, 0.5)
+	e.MaxAttempts = 10
+	retried := false
+	for i := 0; i < 30; i++ {
+		e.Submit(0, 1, 1e6, func(r Result) {
+			if r.Status == Completed && r.Attempts > 1 {
+				retried = true
+			}
+		})
+	}
+	eng.Run(0)
+	if !retried {
+		t.Fatal("no transfer completed after a retry (statistically near-impossible)")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Completed.String() != "completed" || Failed.String() != "failed" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64, int64) {
+		e, eng := setup(t, 0.3)
+		for i := 0; i < 25; i++ {
+			e.Submit(i%3, (i+1)%3, int64(1e6*(i+1)), nil)
+		}
+		eng.Run(0)
+		return e.CompletedCount, e.FailedCount, e.BytesMoved
+	}
+	c1, f1, b1 := run()
+	c2, f2, b2 := run()
+	if c1 != c2 || f1 != f2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", c1, f1, b1, c2, f2, b2)
+	}
+}
+
+func TestRetryBackoffDelaysCompletion(t *testing.T) {
+	e, eng := setup(t, 1.0)
+	e.MaxAttempts = 2
+	e.RetryBackoff = time.Minute
+	var got Result
+	e.Submit(0, 1, 1e6, func(r Result) { got = r })
+	eng.Run(0)
+	if (got.Finished - got.Started).Duration() < time.Minute {
+		t.Fatalf("backoff not applied: %v", got.Finished-got.Started)
+	}
+}
+
+func TestParallelStreamsWinContention(t *testing.T) {
+	// Two competing transfers on the same path: the one submitted while
+	// another is active goes faster with more streams (it claims a larger
+	// share of the bottleneck).
+	run := func(streams int) time.Duration {
+		e, eng := setup(t, 0)
+		e.StreamsPerTransfer = 1
+		e.Submit(0, 1, 200e6, nil) // background flow
+		e.StreamsPerTransfer = streams
+		var contended Result
+		e.Submit(0, 1, 50e6, func(r Result) { contended = r })
+		eng.Run(0)
+		return (contended.Finished - contended.Started).Duration()
+	}
+	single := run(1)
+	multi := run(4)
+	if multi >= single {
+		t.Fatalf("4-stream contended transfer (%v) should beat 1-stream (%v)", multi, single)
+	}
+}
+
+func TestParallelStreamsNoBenefitAlone(t *testing.T) {
+	// An uncontended transfer cannot exceed the physical bottleneck no
+	// matter how many streams it opens.
+	run := func(streams int) time.Duration {
+		e, eng := setup(t, 0)
+		e.StreamsPerTransfer = streams
+		var r Result
+		e.Submit(0, 1, 100e6, func(res Result) { r = res })
+		eng.Run(0)
+		return (r.Finished - r.Started).Duration()
+	}
+	single := run(1)
+	multi := run(8)
+	diff := single - multi
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > single/50 {
+		t.Fatalf("uncontended: 8 streams (%v) should match 1 stream (%v)", multi, single)
+	}
+}
+
+func TestStreamsFlowAccountingBalanced(t *testing.T) {
+	e, eng := setup(t, 0.4)
+	e.StreamsPerTransfer = 4
+	for i := 0; i < 10; i++ {
+		e.Submit(0, 1, 5e6, nil)
+	}
+	eng.Run(0)
+	for site := 0; site < 3; site++ {
+		if f := e.ActiveFlows(site); f != 0 {
+			t.Fatalf("site %d has %d residual streams", site, f)
+		}
+	}
+}

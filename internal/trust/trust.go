@@ -1,0 +1,233 @@
+// Package trust implements the paper's Section III proven-trust model:
+// trust as "a positive expectation ... that results from proven
+// contextualized personal interaction-histories". Pairwise trust scores
+// are accumulated from interaction outcomes (publications, completed
+// transfers, honoured storage requests), decay over time, and can be
+// thresholded into a trust graph that the placement algorithms consume.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"scdn/internal/graph"
+)
+
+// InteractionKind classifies a proven interaction.
+type InteractionKind int
+
+// Interaction kinds, with default weights reflecting how strongly each
+// outcome evidences trust.
+const (
+	// Publication is a scientific coauthorship (the paper's primary
+	// evidence of proven trust).
+	Publication InteractionKind = iota
+	// TransferCompleted is a successfully served data transfer.
+	TransferCompleted
+	// TransferFailed is a transfer the peer failed to serve.
+	TransferFailed
+	// StorageHonoured is a replica-hosting request the peer honoured.
+	StorageHonoured
+	// StorageRefused is a replica-hosting request the peer declined.
+	StorageRefused
+)
+
+func (k InteractionKind) String() string {
+	switch k {
+	case Publication:
+		return "publication"
+	case TransferCompleted:
+		return "transfer-completed"
+	case TransferFailed:
+		return "transfer-failed"
+	case StorageHonoured:
+		return "storage-honoured"
+	case StorageRefused:
+		return "storage-refused"
+	default:
+		return fmt.Sprintf("interaction(%d)", int(k))
+	}
+}
+
+// DefaultWeight returns the default trust delta for an interaction kind.
+// Negative outcomes subtract trust.
+func DefaultWeight(k InteractionKind) float64 {
+	switch k {
+	case Publication:
+		return 1.0
+	case TransferCompleted:
+		return 0.25
+	case TransferFailed:
+		return -0.5
+	case StorageHonoured:
+		return 0.4
+	case StorageRefused:
+		return -0.3
+	default:
+		return 0
+	}
+}
+
+// Interaction is one recorded event between two parties.
+type Interaction struct {
+	Kind InteractionKind
+	At   time.Duration // time on the model's clock
+	// Weight overrides DefaultWeight when non-zero.
+	Weight float64
+}
+
+func (i Interaction) effectiveWeight() float64 {
+	if i.Weight != 0 {
+		return i.Weight
+	}
+	return DefaultWeight(i.Kind)
+}
+
+// pair is an unordered user pair.
+type pair struct{ a, b graph.NodeID }
+
+func makePair(a, b graph.NodeID) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Model accumulates interaction histories and derives trust scores.
+// Not safe for concurrent use; simulations are single-threaded.
+type Model struct {
+	// HalfLife controls exponential decay of old interactions; zero
+	// disables decay.
+	HalfLife time.Duration
+	history  map[pair][]Interaction
+}
+
+// NewModel returns an empty trust model with the given decay half-life.
+func NewModel(halfLife time.Duration) *Model {
+	return &Model{HalfLife: halfLife, history: make(map[pair][]Interaction)}
+}
+
+// Record appends an interaction between a and b. Self-interactions are
+// rejected.
+func (m *Model) Record(a, b graph.NodeID, in Interaction) error {
+	if a == b {
+		return fmt.Errorf("trust: self interaction for %d", a)
+	}
+	p := makePair(a, b)
+	m.history[p] = append(m.history[p], in)
+	return nil
+}
+
+// History returns the interactions recorded between a and b in insertion
+// order (a copy).
+func (m *Model) History(a, b graph.NodeID) []Interaction {
+	h := m.history[makePair(a, b)]
+	out := make([]Interaction, len(h))
+	copy(out, h)
+	return out
+}
+
+// Score returns the pairwise trust at time now: the decayed sum of
+// interaction weights, clamped at 0 (trust cannot go negative — a
+// sufficiently bad history simply means no trust).
+func (m *Model) Score(a, b graph.NodeID, now time.Duration) float64 {
+	sum := 0.0
+	for _, in := range m.history[makePair(a, b)] {
+		w := in.effectiveWeight()
+		if m.HalfLife > 0 {
+			age := now - in.At
+			if age < 0 {
+				age = 0
+			}
+			w *= math.Exp2(-age.Hours() / m.HalfLife.Hours())
+		}
+		sum += w
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// Trusts reports whether the pairwise score at now meets the threshold.
+func (m *Model) Trusts(a, b graph.NodeID, threshold float64, now time.Duration) bool {
+	return m.Score(a, b, now) >= threshold
+}
+
+// Graph derives the trust graph at time now: an edge for every pair whose
+// score meets the threshold. Nodes appear only if incident to a trusted
+// edge, mirroring the paper's pruned-subgraph convention.
+func (m *Model) Graph(threshold float64, now time.Duration) *graph.Graph {
+	g := graph.New()
+	for p := range m.history {
+		if m.Score(p.a, p.b, now) >= threshold {
+			g.AddEdge(p.a, p.b)
+		}
+	}
+	return g
+}
+
+// Ranked is a peer with its trust score.
+type Ranked struct {
+	Peer  graph.NodeID
+	Score float64
+}
+
+// MostTrusted returns up to k peers of u ordered by descending score
+// (ties by ascending ID), considering only peers with positive scores.
+func (m *Model) MostTrusted(u graph.NodeID, k int, now time.Duration) []Ranked {
+	var out []Ranked
+	for p := range m.history {
+		var peer graph.NodeID
+		switch u {
+		case p.a:
+			peer = p.b
+		case p.b:
+			peer = p.a
+		default:
+			continue
+		}
+		if s := m.Score(u, peer, now); s > 0 {
+			out = append(out, Ranked{Peer: peer, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SeedFromPublications bulk-records coauthorship interactions: for every
+// publication (author list + timestamp), every author pair gains one
+// Publication interaction. This is how the case study's "proven trust from
+// successful science" enters the model.
+func (m *Model) SeedFromPublications(pubs [][]graph.NodeID, at []time.Duration) error {
+	if len(at) != 0 && len(at) != len(pubs) {
+		return fmt.Errorf("trust: at has %d entries for %d publications", len(at), len(pubs))
+	}
+	for i, authors := range pubs {
+		var ts time.Duration
+		if len(at) > 0 {
+			ts = at[i]
+		}
+		for x := 0; x < len(authors); x++ {
+			for y := x + 1; y < len(authors); y++ {
+				if authors[x] == authors[y] {
+					continue
+				}
+				if err := m.Record(authors[x], authors[y], Interaction{Kind: Publication, At: ts}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

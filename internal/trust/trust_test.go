@@ -1,0 +1,223 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scdn/internal/graph"
+)
+
+func TestRecordAndScore(t *testing.T) {
+	m := NewModel(0)
+	if err := m.Record(1, 2, Interaction{Kind: Publication}); err != nil {
+		t.Fatal(err)
+	}
+	m.Record(2, 1, Interaction{Kind: Publication}) // reversed pair accumulates same history
+	if got := m.Score(1, 2, 0); got != 2 {
+		t.Fatalf("score = %v, want 2", got)
+	}
+	if got := m.Score(2, 1, 0); got != 2 {
+		t.Fatalf("reversed score = %v, want 2", got)
+	}
+	if len(m.History(1, 2)) != 2 {
+		t.Fatal("history length wrong")
+	}
+}
+
+func TestSelfInteractionRejected(t *testing.T) {
+	m := NewModel(0)
+	if err := m.Record(3, 3, Interaction{Kind: Publication}); err == nil {
+		t.Fatal("self interaction accepted")
+	}
+}
+
+func TestNegativeOutcomesClampAtZero(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 2, Interaction{Kind: TransferFailed})
+	m.Record(1, 2, Interaction{Kind: TransferFailed})
+	if got := m.Score(1, 2, 0); got != 0 {
+		t.Fatalf("score = %v, want clamped 0", got)
+	}
+	m.Record(1, 2, Interaction{Kind: Publication})
+	// 1.0 - 0.5 - 0.5 = 0.
+	if got := m.Score(1, 2, 0); got != 0 {
+		t.Fatalf("score = %v, want 0", got)
+	}
+	m.Record(1, 2, Interaction{Kind: StorageHonoured})
+	if got := m.Score(1, 2, 0); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("score = %v, want 0.4", got)
+	}
+}
+
+func TestCustomWeightOverrides(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 2, Interaction{Kind: Publication, Weight: 3.5})
+	if got := m.Score(1, 2, 0); got != 3.5 {
+		t.Fatalf("score = %v, want 3.5", got)
+	}
+}
+
+func TestDecayHalfLife(t *testing.T) {
+	m := NewModel(24 * time.Hour)
+	m.Record(1, 2, Interaction{Kind: Publication, At: 0})
+	if got := m.Score(1, 2, 24*time.Hour); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("score after one half-life = %v, want 0.5", got)
+	}
+	if got := m.Score(1, 2, 48*time.Hour); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("score after two half-lives = %v, want 0.25", got)
+	}
+	// Future-dated interactions don't grow.
+	if got := m.Score(1, 2, 0); got != 1 {
+		t.Fatalf("score at t=0 = %v, want 1 (age clamped)", got)
+	}
+}
+
+func TestTrusts(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 2, Interaction{Kind: Publication})
+	if !m.Trusts(1, 2, 1.0, 0) {
+		t.Fatal("threshold 1 should pass")
+	}
+	if m.Trusts(1, 2, 1.5, 0) {
+		t.Fatal("threshold 1.5 should fail")
+	}
+	if m.Trusts(1, 9, 0.1, 0) {
+		t.Fatal("strangers should not trust")
+	}
+}
+
+func TestGraphThreshold(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 2, Interaction{Kind: Publication})
+	m.Record(1, 2, Interaction{Kind: Publication})
+	m.Record(2, 3, Interaction{Kind: Publication})
+	g := m.Graph(2.0, 0)
+	if !g.HasEdge(1, 2) {
+		t.Fatal("double-publication edge missing")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("single-publication edge should be pruned at threshold 2")
+	}
+	if g.HasNode(3) {
+		t.Fatal("node 3 should be absent (no trusted edges)")
+	}
+}
+
+func TestMostTrusted(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 2, Interaction{Kind: Publication})
+	m.Record(1, 3, Interaction{Kind: Publication})
+	m.Record(1, 3, Interaction{Kind: Publication})
+	m.Record(1, 4, Interaction{Kind: TransferFailed}) // score 0: excluded
+	m.Record(5, 6, Interaction{Kind: Publication})    // unrelated
+	top := m.MostTrusted(1, 10, 0)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v, want 2 entries", top)
+	}
+	if top[0].Peer != 3 || top[1].Peer != 2 {
+		t.Fatalf("order = %+v, want peer 3 first", top)
+	}
+	if got := m.MostTrusted(1, 1, 0); len(got) != 1 {
+		t.Fatalf("k=1 returned %d", len(got))
+	}
+}
+
+func TestMostTrustedTieOrder(t *testing.T) {
+	m := NewModel(0)
+	m.Record(1, 5, Interaction{Kind: Publication})
+	m.Record(1, 3, Interaction{Kind: Publication})
+	top := m.MostTrusted(1, 10, 0)
+	if top[0].Peer != 3 || top[1].Peer != 5 {
+		t.Fatalf("tie order = %+v, want ascending IDs", top)
+	}
+}
+
+func TestSeedFromPublications(t *testing.T) {
+	m := NewModel(0)
+	pubs := [][]graph.NodeID{{1, 2, 3}, {1, 2}}
+	if err := m.SeedFromPublications(pubs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(1, 2, 0); got != 2 {
+		t.Fatalf("score(1,2) = %v, want 2", got)
+	}
+	if got := m.Score(2, 3, 0); got != 1 {
+		t.Fatalf("score(2,3) = %v, want 1", got)
+	}
+	// Mirrors the case study: trust graph at threshold 2 = double coauthors.
+	g := m.Graph(2, 0)
+	if g.NumEdges() != 1 || !g.HasEdge(1, 2) {
+		t.Fatalf("trust graph wrong: %d edges", g.NumEdges())
+	}
+}
+
+func TestSeedFromPublicationsTimestampValidation(t *testing.T) {
+	m := NewModel(0)
+	err := m.SeedFromPublications([][]graph.NodeID{{1, 2}}, []time.Duration{1, 2})
+	if err == nil {
+		t.Fatal("mismatched timestamps accepted")
+	}
+	// Duplicate authors within a publication are skipped, not errors.
+	if err := m.SeedFromPublications([][]graph.NodeID{{1, 1, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteractionKindStrings(t *testing.T) {
+	kinds := map[InteractionKind]string{
+		Publication:       "publication",
+		TransferCompleted: "transfer-completed",
+		TransferFailed:    "transfer-failed",
+		StorageHonoured:   "storage-honoured",
+		StorageRefused:    "storage-refused",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if InteractionKind(42).String() != "interaction(42)" {
+		t.Error("unknown kind String() wrong")
+	}
+	if DefaultWeight(InteractionKind(42)) != 0 {
+		t.Error("unknown kind weight should be 0")
+	}
+}
+
+// Property: score is non-negative and monotone under added positive
+// interactions.
+func TestPropertyScoreMonotonePositive(t *testing.T) {
+	f := func(n uint8) bool {
+		m := NewModel(0)
+		prev := 0.0
+		for i := 0; i < int(n%20); i++ {
+			m.Record(1, 2, Interaction{Kind: Publication})
+			s := m.Score(1, 2, 0)
+			if s < prev || s < 0 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with decay enabled, scores never increase as `now` advances.
+func TestPropertyDecayMonotone(t *testing.T) {
+	f := func(hours uint16) bool {
+		m := NewModel(12 * time.Hour)
+		m.Record(1, 2, Interaction{Kind: Publication, At: 0})
+		m.Record(1, 2, Interaction{Kind: StorageHonoured, At: time.Hour})
+		t1 := time.Duration(hours) * time.Hour
+		t2 := t1 + 5*time.Hour
+		return m.Score(1, 2, t2) <= m.Score(1, 2, t1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package workload generates the data-access workloads the S-CDN
+// simulations run: Zipf-popular dataset catalogs, socially local access
+// patterns (collaborators read each other's data), and the Section IV
+// medical-imaging pipeline (raw MRI sessions expanding through analysis
+// workflows into derived datasets shared across a multi-center trial).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"scdn/internal/graph"
+	"scdn/internal/storage"
+)
+
+// Dataset is a shareable dataset owned by a user.
+type Dataset struct {
+	ID    storage.DatasetID
+	Owner graph.NodeID
+	Bytes int64
+}
+
+// Request is one data access: a user needs a dataset at a virtual time.
+type Request struct {
+	At   time.Duration
+	User graph.NodeID
+	Data storage.DatasetID
+}
+
+// Zipf draws ranks 1..n with exponent s (rank 1 most popular).
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf sampler over n items. n must be positive and s
+// non-negative.
+func NewZipf(n int, s float64, rng *rand.Rand) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf over %d items", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: negative zipf exponent %v", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// Rank draws a rank in [0, n).
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Catalog builds datasets owned by the given users: each user owns
+// `perUser` datasets with sizes uniform in [minBytes, maxBytes].
+func Catalog(users []graph.NodeID, perUser int, minBytes, maxBytes int64, rng *rand.Rand) ([]Dataset, error) {
+	if perUser <= 0 || minBytes <= 0 || maxBytes < minBytes {
+		return nil, fmt.Errorf("workload: invalid catalog parameters")
+	}
+	var out []Dataset
+	for _, u := range users {
+		for i := 0; i < perUser; i++ {
+			out = append(out, Dataset{
+				ID:    storage.DatasetID(fmt.Sprintf("ds-%d-%d", u, i)),
+				Owner: u,
+				Bytes: minBytes + rng.Int63n(maxBytes-minBytes+1),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SocialConfig parameterizes socially local request generation.
+type SocialConfig struct {
+	// Requests is the total request count.
+	Requests int
+	// Duration spreads requests uniformly over [0, Duration).
+	Duration time.Duration
+	// PSocial is the probability a request targets a dataset owned by a
+	// social neighbour (vs. Zipf over the whole catalog). This is the
+	// paper's premise: collaborators access collaborators' data.
+	PSocial float64
+	// ZipfExponent shapes global popularity (typical CDN workloads ~0.8-1.2).
+	ZipfExponent float64
+}
+
+// SocialRequests generates requests where users predominantly read data
+// owned by their neighbours in the social graph.
+func SocialRequests(g *graph.Graph, catalog []Dataset, cfg SocialConfig, rng *rand.Rand) ([]Request, error) {
+	if cfg.Requests <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: invalid request parameters")
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("workload: empty catalog")
+	}
+	users := g.Nodes()
+	if len(users) == 0 {
+		return nil, fmt.Errorf("workload: empty graph")
+	}
+	byOwner := make(map[graph.NodeID][]Dataset)
+	for _, d := range catalog {
+		byOwner[d.Owner] = append(byOwner[d.Owner], d)
+	}
+	zipf, err := NewZipf(len(catalog), cfg.ZipfExponent, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Request, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		user := users[rng.Intn(len(users))]
+		var ds Dataset
+		picked := false
+		if rng.Float64() < cfg.PSocial {
+			nbrs := g.Neighbors(user)
+			if len(nbrs) > 0 {
+				// Try a few neighbours for one that owns data.
+				for tries := 0; tries < 4; tries++ {
+					owner := nbrs[rng.Intn(len(nbrs))]
+					if own := byOwner[owner]; len(own) > 0 {
+						ds = own[rng.Intn(len(own))]
+						picked = true
+						break
+					}
+				}
+			}
+		}
+		if !picked {
+			ds = catalog[zipf.Rank()]
+		}
+		out = append(out, Request{
+			At:   time.Duration(rng.Int63n(int64(cfg.Duration))),
+			User: user,
+			Data: ds.ID,
+		})
+	}
+	sortRequests(out)
+	return out, nil
+}
+
+// sortRequests orders requests by time, then user, then dataset, for
+// deterministic replay.
+func sortRequests(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].At != reqs[j].At {
+			return reqs[i].At < reqs[j].At
+		}
+		if reqs[i].User != reqs[j].User {
+			return reqs[i].User < reqs[j].User
+		}
+		return reqs[i].Data < reqs[j].Data
+	})
+}

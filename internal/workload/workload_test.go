@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scdn/internal/graph"
+)
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(0, 1, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1, rng); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipf(100, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		r := z.Rank()
+		if r < 0 || r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	// Harmonic: rank0 share ≈ 1/H(100) ≈ 0.192.
+	share := float64(counts[0]) / 20000
+	if share < 0.15 || share < float64(counts[10])/20000 {
+		t.Fatalf("rank-0 share = %v, want ~0.19", share)
+	}
+}
+
+func TestZipfUniformWhenZeroExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z, _ := NewZipf(10, 0, rng)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[z.Rank()]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform zipf rank %d count %d far from 1000", i, c)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	users := []graph.NodeID{1, 2, 3}
+	cat, err := Catalog(users, 2, 100, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 6 {
+		t.Fatalf("catalog = %d entries", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, d := range cat {
+		if d.Bytes < 100 || d.Bytes > 200 {
+			t.Fatalf("dataset size %d out of range", d.Bytes)
+		}
+		if seen[string(d.ID)] {
+			t.Fatalf("duplicate dataset ID %s", d.ID)
+		}
+		seen[string(d.ID)] = true
+	}
+	if _, err := Catalog(users, 0, 1, 2, rng); err == nil {
+		t.Fatal("perUser=0 accepted")
+	}
+	if _, err := Catalog(users, 1, 10, 5, rng); err == nil {
+		t.Fatal("inverted size range accepted")
+	}
+}
+
+func socialGraph() *graph.Graph {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	return g
+}
+
+func TestSocialRequestsBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := socialGraph()
+	cat, _ := Catalog(g.Nodes(), 2, 1e6, 2e6, rng)
+	reqs, err := SocialRequests(g, cat, SocialConfig{
+		Requests: 500, Duration: time.Hour, PSocial: 0.8, ZipfExponent: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 500 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].At < reqs[i-1].At {
+			t.Fatal("requests not time-sorted")
+		}
+	}
+	for _, r := range reqs {
+		if r.At < 0 || r.At >= time.Hour {
+			t.Fatalf("request time %v out of window", r.At)
+		}
+	}
+}
+
+func TestSocialRequestsLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := socialGraph()
+	cat, _ := Catalog(g.Nodes(), 1, 1e6, 1e6, rng)
+	owners := map[string]graph.NodeID{}
+	for _, d := range cat {
+		owners[string(d.ID)] = d.Owner
+	}
+	reqs, _ := SocialRequests(g, cat, SocialConfig{
+		Requests: 2000, Duration: time.Hour, PSocial: 1.0, ZipfExponent: 1,
+	}, rng)
+	socialHits := 0
+	for _, r := range reqs {
+		if g.HasEdge(r.User, owners[string(r.Data)]) {
+			socialHits++
+		}
+	}
+	// With PSocial=1, most requests from connected users target
+	// neighbours' data (isolated users fall back to Zipf).
+	if frac := float64(socialHits) / float64(len(reqs)); frac < 0.5 {
+		t.Fatalf("social fraction = %v, want > 0.5", frac)
+	}
+}
+
+func TestSocialRequestsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := socialGraph()
+	cat, _ := Catalog(g.Nodes(), 1, 1, 2, rng)
+	if _, err := SocialRequests(g, cat, SocialConfig{Requests: 0, Duration: time.Hour}, rng); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if _, err := SocialRequests(g, nil, SocialConfig{Requests: 1, Duration: time.Hour}, rng); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if _, err := SocialRequests(graph.New(), cat, SocialConfig{Requests: 1, Duration: time.Hour}, rng); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestGenerateMedImaging(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	participants := []graph.NodeID{1, 2, 3, 4, 5}
+	cfg := DefaultMedImaging(10)
+	trial, err := GenerateMedImaging(participants, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 subjects × 2 sessions = 20 raw; ×4 stages = 80 derived.
+	if len(trial.RawIDs) != 20 || len(trial.DerivedIDs) != 80 {
+		t.Fatalf("raw/derived = %d/%d", len(trial.RawIDs), len(trial.DerivedIDs))
+	}
+	if len(trial.Datasets) != 100 {
+		t.Fatalf("datasets = %d", len(trial.Datasets))
+	}
+	// Paper's ratio: total ≈ raw × (1 + 14) = 20 × 100MB × 15 = 30 GB.
+	wantTotal := int64(20) * 100e6 * 15
+	if trial.TotalBytes < wantTotal*95/100 || trial.TotalBytes > wantTotal*105/100 {
+		t.Fatalf("total bytes = %d, want ~%d", trial.TotalBytes, wantTotal)
+	}
+	// Each session: 1 raw-fetch + 4 stages × 3 readers... requests = per
+	// stage (1 fetch + 3 reads) × 4 stages × 20 sessions = 320.
+	if len(trial.Requests) != 20*4*(1+3) {
+		t.Fatalf("requests = %d, want 320", len(trial.Requests))
+	}
+	for i := 1; i < len(trial.Requests); i++ {
+		if trial.Requests[i].At < trial.Requests[i-1].At {
+			t.Fatal("trial requests not sorted")
+		}
+	}
+}
+
+func TestGenerateMedImagingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultMedImaging(1)
+	if _, err := GenerateMedImaging(nil, cfg, rng); err == nil {
+		t.Fatal("no participants accepted")
+	}
+	bad := cfg
+	bad.Subjects = 0
+	if _, err := GenerateMedImaging([]graph.NodeID{1}, bad, rng); err == nil {
+		t.Fatal("zero subjects accepted")
+	}
+	bad = cfg
+	bad.Stages = nil
+	if _, err := GenerateMedImaging([]graph.NodeID{1}, bad, rng); err == nil {
+		t.Fatal("no stages accepted")
+	}
+	bad = cfg
+	bad.DerivedFactor = 0
+	if _, err := GenerateMedImaging([]graph.NodeID{1}, bad, rng); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	bad = cfg
+	bad.Duration = 0
+	if _, err := GenerateMedImaging([]graph.NodeID{1}, bad, rng); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

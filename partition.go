@@ -1,0 +1,119 @@
+package scdn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scdn/internal/partition"
+)
+
+// SegmentUsage records per-researcher access counts per dataset segment,
+// the input to data partitioning (Section V-D stage two).
+type SegmentUsage map[ResearcherID]map[DatasetID]uint64
+
+// PartitionMethod names a segment→replica assignment strategy.
+type PartitionMethod string
+
+// Partitioning methods.
+const (
+	// PartitionRoundRobin distributes segments cyclically (socially blind
+	// baseline).
+	PartitionRoundRobin PartitionMethod = "round-robin"
+	// PartitionUsage assigns segments near their heaviest users
+	// (the paper's "traditional" model).
+	PartitionUsage PartitionMethod = "usage"
+	// PartitionSocial groups users into communities and assigns segments
+	// to replicas inside the highest-demand communities (the paper's
+	// socially informed model).
+	PartitionSocial PartitionMethod = "social"
+)
+
+// PartitionPlan is the computed segment→replica-host assignment together
+// with its locality score (mean access proximity in [0,1]; 1 means every
+// access is served at the accessing node).
+type PartitionPlan struct {
+	Assignment map[DatasetID][]ResearcherID
+	Locality   float64
+}
+
+// PartitionSegment describes one placeable data segment.
+type PartitionSegment struct {
+	ID    DatasetID
+	Bytes int64
+}
+
+// PlanPartition computes a segment→replica assignment over the network's
+// social graph with the given method. replicaHosts are the candidate
+// holders (e.g. from Replicate or a placement run); copies is how many
+// hosts each segment gets (min 1).
+func (n *Network) PlanPartition(method PartitionMethod, segments []PartitionSegment,
+	usage SegmentUsage, replicaHosts []ResearcherID, copies int) (*PartitionPlan, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("scdn: no segments")
+	}
+	g := n.sys.Platform.SocialGraph()
+	segs := make([]partition.Segment, 0, len(segments))
+	for _, s := range segments {
+		segs = append(segs, partition.Segment{ID: s.ID, Bytes: s.Bytes})
+	}
+	use := make(partition.Usage, len(usage))
+	for u, m := range usage {
+		use[u] = make(map[DatasetID]uint64, len(m))
+		for id, c := range m {
+			use[u][id] = c
+		}
+	}
+	params := partition.Params{
+		Graph:            g,
+		Replicas:         replicaHosts,
+		CopiesPerSegment: copies,
+	}
+	var (
+		assignment partition.Assignment
+		err        error
+	)
+	switch method {
+	case PartitionRoundRobin:
+		assignment, err = partition.RoundRobin(segs, params)
+	case PartitionUsage:
+		assignment, err = partition.UsageBased(segs, use, params)
+	case PartitionSocial:
+		assignment, err = partition.SocialGroupBased(segs, use, params,
+			rand.New(rand.NewSource(n.sys.Config.Seed+99)))
+	default:
+		return nil, fmt.Errorf("scdn: unknown partition method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[DatasetID][]ResearcherID, len(assignment))
+	for id, hosts := range assignment {
+		out[id] = append([]ResearcherID(nil), hosts...)
+	}
+	return &PartitionPlan{
+		Assignment: out,
+		Locality:   partition.LocalityScore(assignment, use, g),
+	}, nil
+}
+
+// ScorePartition evaluates an assignment against a (possibly different)
+// usage profile — e.g. a plan built from sparse observations scored
+// against the full future workload.
+func (n *Network) ScorePartition(assignment map[DatasetID][]ResearcherID, usage SegmentUsage) (float64, error) {
+	if assignment == nil {
+		return 0, fmt.Errorf("scdn: nil assignment")
+	}
+	g := n.sys.Platform.SocialGraph()
+	a := make(partition.Assignment, len(assignment))
+	for id, hosts := range assignment {
+		a[id] = append([]ResearcherID(nil), hosts...)
+	}
+	use := make(partition.Usage, len(usage))
+	for u, m := range usage {
+		use[u] = make(map[DatasetID]uint64, len(m))
+		for id, c := range m {
+			use[u][id] = c
+		}
+	}
+	return partition.LocalityScore(a, use, g), nil
+}

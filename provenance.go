@@ -1,0 +1,66 @@
+package scdn
+
+import (
+	"io"
+
+	"scdn/internal/provenance"
+)
+
+// ProvenanceEvent is one record of a dataset's lineage/custody history.
+type ProvenanceEvent = provenance.Event
+
+// Provenance event kinds re-exported for event inspection.
+const (
+	ProvCreated    = provenance.Created
+	ProvDerived    = provenance.Derived
+	ProvReplicated = provenance.Replicated
+	ProvAccessed   = provenance.Accessed
+	ProvUpdated    = provenance.Updated
+	ProvRetired    = provenance.Retired
+)
+
+// PublishDerived publishes a dataset produced from parent by a workflow
+// stage (e.g. an FA calculation derived from a raw MRI session),
+// recording the derivation in the provenance log.
+func (n *Network) PublishDerived(owner ResearcherID, id DatasetID, bytes int64,
+	parent DatasetID, stage string) error {
+	return n.sys.PublishDerived(owner, id, bytes, parent, stage)
+}
+
+// History returns a dataset's full provenance trail in record order.
+func (n *Network) History(id DatasetID) []ProvenanceEvent {
+	return n.sys.Provenance.History(id)
+}
+
+// Lineage returns a dataset's derivation chain, root first.
+func (n *Network) Lineage(id DatasetID) ([]DatasetID, error) {
+	return n.sys.Provenance.Lineage(id)
+}
+
+// Descendants returns every dataset derived (transitively) from id.
+func (n *Network) Descendants(id DatasetID) []DatasetID {
+	return n.sys.Provenance.Descendants(id)
+}
+
+// Custody returns the researchers currently holding copies of a dataset
+// according to the provenance log (the accountability view; the origin is
+// tracked via its Created record).
+func (n *Network) Custody(id DatasetID) []ResearcherID {
+	holders := n.sys.Provenance.Custody(id, true)
+	out := make([]ResearcherID, 0, len(holders))
+	for _, h := range holders {
+		out = append(out, ResearcherID(h))
+	}
+	return out
+}
+
+// Activity returns everything a researcher did or received — the
+// accountability audit for one participant.
+func (n *Network) Activity(user ResearcherID) []ProvenanceEvent {
+	return n.sys.Provenance.Activity(int64(user))
+}
+
+// WriteAudit prints a dataset's audit trail.
+func (n *Network) WriteAudit(w io.Writer, id DatasetID) error {
+	return n.sys.Provenance.WriteAudit(w, id)
+}

@@ -1,0 +1,308 @@
+package scdn
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildNetwork(t *testing.T) *Network {
+	t.Helper()
+	c := NewCommunity()
+	for i := ResearcherID(1); i <= 6; i++ {
+		c.Add(Researcher{ID: i, Name: "r", Site: int(i - 1), Institutional: true,
+			StorageBytes: 10e9, ReplicaReserveBytes: 4e9})
+	}
+	c.Connect(1, 2, Coauthor, 2).
+		Connect(2, 3, Coauthor, 1).
+		Connect(3, 4, Colleague, 1).
+		Connect(4, 5, Coauthor, 3).
+		Connect(5, 6, Coauthor, 1)
+	opts := DefaultOptions(9)
+	opts.Churn = false
+	n, err := c.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCommunityBuildErrors(t *testing.T) {
+	c := NewCommunity()
+	c.Add(Researcher{ID: 1})
+	c.Add(Researcher{ID: 1}) // duplicate
+	if _, err := c.Build(DefaultOptions(1)); err == nil {
+		t.Fatal("duplicate researcher accepted")
+	}
+	c2 := NewCommunity()
+	c2.Add(Researcher{ID: 1})
+	c2.Connect(1, 9, Coauthor, 1)
+	if _, err := c2.Build(DefaultOptions(1)); err == nil {
+		t.Fatal("tie to unknown researcher accepted")
+	}
+	c3 := NewCommunity()
+	c3.Add(Researcher{ID: 1, Site: 0})
+	opts := DefaultOptions(1)
+	opts.Placement = "No Such Algorithm"
+	if _, err := c3.Build(opts); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+func TestCommunitySize(t *testing.T) {
+	c := NewCommunity().Add(Researcher{ID: 1}).Add(Researcher{ID: 2})
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+}
+
+func TestEndToEndPublishReplicateAccess(t *testing.T) {
+	n := buildNetwork(t)
+	if err := n.Publish(1, "dataset", 2e9); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := n.Replicate("dataset", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	n.Run(3 * time.Hour)
+	reps, err := n.Replicas("dataset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %v, want origin + 2", reps)
+	}
+	var got *AccessResult
+	if err := n.Request(6, "dataset", func(r AccessResult) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(8 * time.Hour)
+	if got == nil {
+		t.Fatal("access incomplete")
+	}
+	if got.Outcome != ReplicaFetch && got.Outcome != OriginFetch {
+		t.Fatalf("outcome = %v", got.Outcome)
+	}
+	has, err := n.HasLocal(6, "dataset")
+	if err != nil || !has {
+		t.Fatalf("HasLocal = %v, %v", has, err)
+	}
+	if n.TrustScore(6, reps[0]) < 0 {
+		t.Fatal("trust score negative")
+	}
+	cdn, social := n.Metrics()
+	if cdn.RequestsServed.Value() != 1 {
+		t.Fatalf("served = %d", cdn.RequestsServed.Value())
+	}
+	if social.Exchanges.Value() == 0 {
+		t.Fatal("no exchanges recorded")
+	}
+	var sb strings.Builder
+	if err := n.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CDN metrics") {
+		t.Fatal("report malformed")
+	}
+	if n.Now() != 8*time.Hour {
+		t.Fatalf("Now = %v", n.Now())
+	}
+}
+
+func TestScheduleWorkload(t *testing.T) {
+	n := buildNetwork(t)
+	n.Publish(1, "a", 1e6)
+	n.Schedule([]WorkloadRequest{
+		{At: time.Minute, User: 2, Data: "a"},
+		{At: 2 * time.Minute, User: 3, Data: "a"},
+	})
+	n.Run(time.Hour)
+	cdn, _ := n.Metrics()
+	if cdn.RequestsServed.Value()+cdn.RequestsFailed.Value() != 2 {
+		t.Fatal("scheduled requests not served")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 8 {
+		t.Fatalf("algorithms = %v", algs)
+	}
+	if algs[0] != "Random" || algs[2] != "Community Node Degree" {
+		t.Fatalf("paper algorithms not first: %v", algs)
+	}
+}
+
+func TestStudyFacade(t *testing.T) {
+	s, err := NewStudy(StudyConfig{Seed: 42, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.TableI()
+	if len(rows) != 3 || rows[0].Name != "baseline" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	fig2 := s.Fig2()
+	if len(fig2) != 3 || fig2[0].MaxSpan != 6 {
+		t.Fatalf("fig2 = %+v", fig2)
+	}
+	curves, err := s.Fig3("fewauthors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	if _, err := s.Fig3("bogus"); err == nil {
+		t.Fatal("bogus subgraph accepted")
+	}
+	var sb strings.Builder
+	if err := s.WriteTableI(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFig3(&sb, "double"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteDOT(&sb, "fewauthors"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFig3(&sb, "bogus"); err == nil {
+		t.Fatal("bogus panel accepted")
+	}
+	if err := s.WriteDOT(&sb, "bogus"); err == nil {
+		t.Fatal("bogus DOT accepted")
+	}
+	out := sb.String()
+	for _, want := range []string{"baseline", "Replicas", "graph fig2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("facade output missing %q", want)
+		}
+	}
+}
+
+func TestStudyCommunityBridge(t *testing.T) {
+	s, err := NewStudy(StudyConfig{Seed: 42, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Community("fewauthors", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() < 100 {
+		t.Fatalf("community size = %d, want hundreds", c.Size())
+	}
+	opts := DefaultOptions(1)
+	opts.Churn = false
+	n, err := c.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The community is usable: publish + replicate end to end.
+	owner := ResearcherID(1)
+	if err := n.Publish(owner, "shared", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Replicate("shared", 3); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2 * time.Hour)
+	reps, _ := n.Replicas("shared")
+	if len(reps) < 2 {
+		t.Fatalf("replicas = %v", reps)
+	}
+	if _, err := s.Community("bogus", 0.1); err == nil {
+		t.Fatal("bogus community accepted")
+	}
+}
+
+func TestRunCaseStudySmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := RunCaseStudy(&sb, 42, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"baseline", "double-coauthorship", "number-of-authors",
+		"Random", "Community Node Degree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case study output missing %q", want)
+		}
+	}
+}
+
+func TestExportDBLPErrors(t *testing.T) {
+	// A corpus-based study has nothing to export.
+	const xml = `<dblp><article><author>A</author><author>B</author><year>2009</year></article>
+	<article><author>A</author><author>B</author><year>2011</year></article></dblp>`
+	s, err := NewStudyFromDBLP(strings.NewReader(xml), "A", 2009, 2010, 2011, StudyConfig{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.ExportDBLP(&sb); err == nil {
+		t.Fatal("corpus-based export should error")
+	}
+	// A synthetic study exports successfully.
+	synth, err := NewStudy(StudyConfig{Seed: 42, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.ExportDBLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<dblp>") {
+		t.Fatal("export malformed")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	n := buildNetwork(t)
+	if _, err := GenerateSocialWorkload(nil, WorkloadConfig{Datasets: 1, Requests: 1, Duration: time.Hour}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := GenerateSocialWorkload(n, WorkloadConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := GenerateMedicalTrial(nil, 3, 1); err == nil {
+		t.Fatal("nil network accepted for trial")
+	}
+	wl, err := GenerateMedicalTrial(n, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Derivations) == 0 {
+		t.Fatal("trial derivations missing")
+	}
+	for id, der := range wl.Derivations {
+		if der.Parent == "" || der.Stage == "" {
+			t.Fatalf("derivation %q incomplete: %+v", id, der)
+		}
+	}
+}
+
+func TestTransferStreamsOption(t *testing.T) {
+	c := NewCommunity().
+		Add(Researcher{ID: 1, Site: 0}).
+		Add(Researcher{ID: 2, Site: 5}).
+		Connect(1, 2, Coauthor, 1)
+	opts := DefaultOptions(3)
+	opts.Churn = false
+	opts.TransferStreams = 4
+	n, err := c.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Publish(1, "d", 50e6); err != nil {
+		t.Fatal(err)
+	}
+	var got *AccessResult
+	n.Request(2, "d", func(r AccessResult) { got = &r })
+	n.Run(time.Hour)
+	if got == nil || got.Outcome != OriginFetch {
+		t.Fatalf("result = %+v", got)
+	}
+}

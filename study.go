@@ -1,0 +1,200 @@
+package scdn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scdn/internal/casestudy"
+	"scdn/internal/coauthor"
+	"scdn/internal/core"
+)
+
+// StudyConfig parameterizes the paper's Section VI case study.
+type StudyConfig struct {
+	// Seed drives corpus generation and placement randomness (default 42,
+	// the repository's canonical experiment seed).
+	Seed int64
+	// Runs averages each measurement over this many placements (paper:
+	// 100).
+	Runs int
+	// MaxReplicas is the largest replica count evaluated (paper: 10).
+	MaxReplicas int
+	// HitRadius is the hop distance counting as a hit (paper: 1).
+	HitRadius int
+	// Extended additionally evaluates the non-paper algorithms.
+	Extended bool
+}
+
+// Study is the materialized case study: trust subgraphs and test events.
+type Study struct{ inner *casestudy.Study }
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow = coauthor.Stats
+
+// Fig2Stats summarizes a subgraph's topology (the paper's Fig. 2).
+type Fig2Stats = casestudy.Fig2Stats
+
+// Curve is one placement algorithm's hit-rate series (a Fig. 3 line).
+type Curve = casestudy.Curve
+
+// NewStudy generates the calibrated synthetic coauthorship corpus and
+// derives the three trust subgraphs.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	inner := casestudy.DefaultConfig()
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	if cfg.Runs > 0 {
+		inner.Runs = cfg.Runs
+	}
+	if cfg.MaxReplicas > 0 {
+		inner.MaxReplicas = cfg.MaxReplicas
+	}
+	if cfg.HitRadius > 0 {
+		inner.HitRadius = cfg.HitRadius
+	}
+	inner.Extended = cfg.Extended
+	s, err := casestudy.New(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{inner: s}, nil
+}
+
+// TableI returns the three subgraph rows (baseline, double-coauthorship,
+// number-of-authors).
+func (s *Study) TableI() []TableIRow { return s.inner.TableI() }
+
+// WriteTableI prints Table I.
+func (s *Study) WriteTableI(w io.Writer) error { return s.inner.WriteTableI(w) }
+
+// Fig2 returns topology statistics for the three subgraphs.
+func (s *Study) Fig2() []Fig2Stats { return s.inner.Fig2() }
+
+// Fig3 evaluates every placement algorithm on the named subgraph
+// ("baseline", "double", or "fewauthors") across replica counts.
+func (s *Study) Fig3(subgraph string) ([]Curve, error) {
+	sub, err := s.inner.SubgraphByName(subgraph)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Fig3(sub), nil
+}
+
+// WriteFig3 prints one Fig. 3 panel.
+func (s *Study) WriteFig3(w io.Writer, subgraph string) error {
+	sub, err := s.inner.SubgraphByName(subgraph)
+	if err != nil {
+		return err
+	}
+	return casestudy.WriteFig3(w, sub.Name, s.inner.Fig3(sub))
+}
+
+// WriteDOT exports a subgraph in Graphviz DOT form with the seed author
+// highlighted, as rendered in the paper's Fig. 2.
+func (s *Study) WriteDOT(w io.Writer, subgraph string) error {
+	sub, err := s.inner.SubgraphByName(subgraph)
+	if err != nil {
+		return err
+	}
+	return casestudy.WriteFig2DOT(w, sub)
+}
+
+// Community converts a trust subgraph into an S-CDN community, ready to
+// Build: authors become researchers, coauthorships become weighted ties.
+// institutionalFrac is the top-degree fraction given always-on servers.
+func (s *Study) Community(subgraph string, institutionalFrac float64) (*Community, error) {
+	sub, err := s.inner.SubgraphByName(subgraph)
+	if err != nil {
+		return nil, err
+	}
+	users, edges, err := core.CommunityFromSubgraph(sub, institutionalFrac)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCommunity()
+	for _, u := range users {
+		c.Add(Researcher{
+			ID: u.ID, Name: u.Name, Site: u.SiteID,
+			Institutional: u.Institutional,
+		})
+	}
+	for _, e := range edges {
+		c.Connect(e.A, e.B, e.Type, e.Strength)
+	}
+	return c, nil
+}
+
+// ExportDBLP writes the study's synthetic corpus as DBLP-style XML —
+// authors are named "author-<id>" (the ego seed is "author-1") — so the
+// full pipeline can be replayed through the real-data path or inspected
+// with external tools. It errors for studies built from a real corpus.
+func (s *Study) ExportDBLP(w io.Writer) error {
+	if s.inner.Synth == nil {
+		return fmt.Errorf("scdn: study was built from an external corpus; nothing to export")
+	}
+	return coauthor.WriteDBLPXML(w, s.inner.Synth.Corpus, nil)
+}
+
+// NewStudyFromDBLP derives the case study from a real DBLP XML export:
+// the full pipeline — trust pruning, placement, Fig. 3 evaluation — runs
+// on actual data instead of the calibrated synthetic corpus. seedAuthor
+// is the ego author's DBLP name (e.g. "Kyle Chard"); trainFrom–trainTo is
+// the training window and testYear the evaluation year.
+func NewStudyFromDBLP(r io.Reader, seedAuthor string,
+	trainFrom, trainTo, testYear int, cfg StudyConfig) (*Study, error) {
+	parsed, err := coauthor.ParseDBLPXML(r)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := parsed.SeedByName(seedAuthor)
+	if err != nil {
+		return nil, err
+	}
+	inner := casestudy.DefaultConfig()
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	if cfg.Runs > 0 {
+		inner.Runs = cfg.Runs
+	}
+	if cfg.MaxReplicas > 0 {
+		inner.MaxReplicas = cfg.MaxReplicas
+	}
+	if cfg.HitRadius > 0 {
+		inner.HitRadius = cfg.HitRadius
+	}
+	inner.Extended = cfg.Extended
+	s, err := casestudy.NewFromCorpus(inner, parsed.Corpus, seed, trainFrom, trainTo, testYear)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{inner: s}, nil
+}
+
+// RunCaseStudy reproduces the paper's full evaluation with the default
+// configuration, writing Table I and all three Fig. 3 panels to w. It is
+// the one-call entry point used by the quickstart example.
+func RunCaseStudy(w io.Writer, seed int64, runs int) error {
+	s, err := NewStudy(StudyConfig{Seed: seed, Runs: runs})
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTableI(w); err != nil {
+		return err
+	}
+	for _, name := range []string{"baseline", "double", "fewauthors"} {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if err := s.WriteFig3(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StudyDuration is a documentation aid: the virtual window the paper's
+// training/test split spans (2009–2011).
+const StudyDuration = 3 * 365 * 24 * time.Hour

@@ -1,0 +1,131 @@
+package scdn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scdn/internal/workload"
+)
+
+// WorkloadConfig parameterizes synthetic request generation over a built
+// network.
+type WorkloadConfig struct {
+	Seed int64
+	// Datasets is how many datasets to mint (owners drawn round-robin
+	// from the community).
+	Datasets int
+	// MinBytes/MaxBytes bound dataset sizes (defaults 100 MB / 2 GB — the
+	// paper's MRI session-to-derived range).
+	MinBytes, MaxBytes int64
+	// Requests and Duration shape the access schedule.
+	Requests int
+	Duration time.Duration
+	// SocialLocality is the probability a request targets a collaborator's
+	// dataset (vs. Zipf over the catalog).
+	SocialLocality float64
+	// ZipfExponent shapes global popularity (default 0.9).
+	ZipfExponent float64
+}
+
+// Workload is a generated dataset catalog plus its access schedule.
+type Workload struct {
+	Datasets []WorkloadDataset
+	Requests []WorkloadRequest
+	// Derivations maps derived dataset IDs to their parent and workflow
+	// stage (medical-trial workloads); publish those with PublishDerived
+	// so provenance captures the lineage.
+	Derivations map[DatasetID]WorkloadDerivation
+}
+
+// WorkloadDerivation is a derived dataset's parentage.
+type WorkloadDerivation struct {
+	Parent DatasetID
+	Stage  string
+}
+
+// WorkloadDataset describes one mintable dataset.
+type WorkloadDataset struct {
+	ID    DatasetID
+	Owner ResearcherID
+	Bytes int64
+}
+
+// GenerateSocialWorkload builds a socially local workload over the
+// network's community: datasets owned by members, requests biased toward
+// collaborators' data.
+func GenerateSocialWorkload(n *Network, cfg WorkloadConfig) (*Workload, error) {
+	if n == nil {
+		return nil, fmt.Errorf("scdn: nil network")
+	}
+	if cfg.Datasets <= 0 || cfg.Requests <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("scdn: workload needs positive datasets, requests, and duration")
+	}
+	if cfg.MinBytes <= 0 {
+		cfg.MinBytes = 100e6
+	}
+	if cfg.MaxBytes < cfg.MinBytes {
+		cfg.MaxBytes = 2e9
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := n.sys.Platform.SocialGraph()
+	users := g.Nodes()
+	if len(users) == 0 {
+		return nil, fmt.Errorf("scdn: empty community")
+	}
+	// Owners: round-robin over members so data is spread out.
+	owners := make([]ResearcherID, 0, cfg.Datasets)
+	for i := 0; i < cfg.Datasets; i++ {
+		owners = append(owners, users[i%len(users)])
+	}
+	perOwner := make(map[ResearcherID]int)
+	var datasets []WorkloadDataset
+	var cat []workload.Dataset
+	for _, o := range owners {
+		id := DatasetID(fmt.Sprintf("ds-%d-%d", o, perOwner[o]))
+		perOwner[o]++
+		bytes := cfg.MinBytes + rng.Int63n(cfg.MaxBytes-cfg.MinBytes+1)
+		datasets = append(datasets, WorkloadDataset{ID: id, Owner: o, Bytes: bytes})
+		cat = append(cat, workload.Dataset{ID: id, Owner: o, Bytes: bytes})
+	}
+	reqs, err := workload.SocialRequests(g, cat, workload.SocialConfig{
+		Requests:     cfg.Requests,
+		Duration:     cfg.Duration,
+		PSocial:      cfg.SocialLocality,
+		ZipfExponent: cfg.ZipfExponent,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Datasets: datasets, Requests: reqs}, nil
+}
+
+// GenerateMedicalTrial builds the Section IV multi-center MRI trial
+// workload over the network's community: raw sessions, derived analysis
+// datasets (≈14× raw), and the analysts' access schedule.
+func GenerateMedicalTrial(n *Network, subjects int, seed int64) (*Workload, error) {
+	if n == nil {
+		return nil, fmt.Errorf("scdn: nil network")
+	}
+	g := n.sys.Platform.SocialGraph()
+	users := g.Nodes()
+	if len(users) == 0 {
+		return nil, fmt.Errorf("scdn: empty community")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trial, err := workload.GenerateMedImaging(users, workload.DefaultMedImaging(subjects), rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &Workload{Requests: trial.Requests, Derivations: make(map[DatasetID]WorkloadDerivation)}
+	for _, d := range trial.Datasets {
+		out.Datasets = append(out.Datasets, WorkloadDataset{ID: d.ID, Owner: d.Owner, Bytes: d.Bytes})
+	}
+	for id, der := range trial.Derivations {
+		out.Derivations[id] = WorkloadDerivation{Parent: der.Parent, Stage: der.Stage}
+	}
+	return out, nil
+}
