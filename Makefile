@@ -1,0 +1,32 @@
+# Verify targets for the scdn repository.
+#
+#   make check   — the full gate: build, vet, unit tests, and the -race
+#                  pass over the concurrent packages (metrics + the live
+#                  serving plane), so concurrency regressions fail fast.
+#   make test    — tier-1 only (what CI has always run).
+#   make race    — just the -race pass.
+#   make bench   — the reproduction benchmark harness.
+#   make loadgen — end-to-end networked benchmark: closed-loop load
+#                  against a 3-node in-process edge cluster over TCP.
+
+GO ?= go
+
+.PHONY: check test race vet bench loadgen
+
+check: vet test race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/metrics ./internal/server
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+loadgen:
+	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 600

@@ -1,0 +1,303 @@
+// Command scdn-loadgen is a closed-loop, multi-worker load generator for
+// the S-CDN serving plane. By default it starts an in-process edge
+// cluster on loopback TCP and hammers it; with -targets it drives an
+// already-running cluster (e.g. one started by scdn-serve). Each worker
+// logs in over the wire, then loops: optionally resolve, fetch a
+// dataset, verify the payload stream byte-for-byte, and record latency.
+// At the end it reports throughput and latency percentiles and
+// reconciles its own totals against the cluster's /metrics expositions,
+// exiting non-zero on any failed request or accounting mismatch.
+//
+// Usage:
+//
+//	scdn-loadgen                                   # 3-node cluster, 8 workers, 600 requests
+//	scdn-loadgen -nodes 5 -workers 32 -requests 10000 -pull-through
+//	scdn-loadgen -targets http://127.0.0.1:8001,http://127.0.0.1:8002 -datasets 12
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scdn/internal/server"
+	"scdn/internal/storage"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 3, "in-process edge servers (ignored with -targets)")
+		targets     = flag.String("targets", "", "comma-separated base URLs of a running cluster")
+		workers     = flag.Int("workers", 8, "concurrent closed-loop workers")
+		requests    = flag.Int("requests", 600, "total fetch requests")
+		datasets    = flag.Int("datasets", 12, "datasets (published in-process, or assumed ds-001.. on -targets)")
+		bytesPer    = flag.Int64("bytes", 64<<10, "bytes per dataset")
+		resolveEach = flag.Int("resolve-every", 5, "issue a resolve before every Nth fetch (0 disables)")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		pullThrough = flag.Bool("pull-through", true, "enable pull-through caching (in-process mode)")
+		verify      = flag.Bool("verify", true, "verify every payload byte-for-byte")
+	)
+	flag.Parse()
+
+	var (
+		urls       []string
+		datasetIDs []storage.DatasetID
+		userIDs    []int64
+	)
+	if *targets == "" {
+		lc, err := server.StartLocalCluster(server.ClusterConfig{
+			Nodes: *nodes, Users: *workers, Datasets: *datasets,
+			DatasetBytes: *bytesPer, Seed: *seed, PullThrough: *pullThrough,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = lc.Shutdown(ctx)
+		}()
+		urls = lc.URLs()
+		datasetIDs = lc.DatasetIDs
+		for _, u := range lc.UserIDs {
+			userIDs = append(userIDs, int64(u))
+		}
+		fmt.Printf("scdn-loadgen: started %d-node in-process cluster on loopback TCP\n", *nodes)
+	} else {
+		urls = strings.Split(*targets, ",")
+		for d := 0; d < *datasets; d++ {
+			datasetIDs = append(datasetIDs, storage.DatasetID(fmt.Sprintf("ds-%03d", d+1)))
+		}
+		// scdn-serve provisions client users 101..100+N.
+		for u := 0; u < *workers; u++ {
+			userIDs = append(userIDs, int64(101+u))
+		}
+	}
+
+	before := scrapeAll(urls)
+
+	var (
+		issued, failed, resolves atomic.Uint64
+		bytesRead                atomic.Int64
+		next                     atomic.Int64
+		lat                      server.LatencyHist
+		wg                       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			client := &http.Client{Timeout: 30 * time.Second}
+			user := userIDs[w%len(userIDs)]
+			tok, err := loginHTTP(client, urls[w%len(urls)], user)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scdn-loadgen: worker %d login: %v\n", w, err)
+				failed.Add(1)
+				return
+			}
+			var accesses uint64
+			for {
+				i := next.Add(1)
+				if i > int64(*requests) {
+					break
+				}
+				ds := datasetIDs[rng.Intn(len(datasetIDs))]
+				base := urls[rng.Intn(len(urls))]
+				if *resolveEach > 0 && i%int64(*resolveEach) == 0 {
+					if err := resolveHTTP(client, base, tok, string(ds)); err != nil {
+						fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, err)
+						failed.Add(1)
+						continue
+					}
+					resolves.Add(1)
+				}
+				issued.Add(1)
+				t0 := time.Now()
+				n, err := fetchHTTP(client, base, tok, ds, *bytesPer, *verify)
+				lat.Observe(time.Since(t0).Seconds())
+				bytesRead.Add(n)
+				accesses++
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "scdn-loadgen: fetch %s from %s: %v\n", ds, base, err)
+					failed.Add(1)
+				}
+			}
+			// Closed loop done: report usage statistics like the paper's
+			// CDN client.
+			_ = reportHTTP(client, urls[w%len(urls)], tok, user, accesses)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := scrapeAll(urls)
+	delta := diffScrapes(before, after)
+
+	s := lat.Summary()
+	mb := float64(bytesRead.Load()) / (1 << 20)
+	fmt.Printf("\n%d workers × closed loop over %d edges: %d requests (%d resolves) in %.2fs\n",
+		*workers, len(urls), issued.Load(), resolves.Load(), elapsed.Seconds())
+	fmt.Printf("throughput: %.1f req/s, %.1f MB/s (%.1f MB served)\n",
+		float64(issued.Load())/elapsed.Seconds(), mb/elapsed.Seconds(), mb)
+	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f\n",
+		s.Mean*1000, s.P50*1000, s.P95*1000, s.P99*1000)
+	fmt.Printf("failed requests: %d\n", failed.Load())
+
+	fmt.Printf("cluster delta: fetch=%d failures=%d local=%d peer=%d origin=%d retries=%d latency-samples=%d\n",
+		delta["scdn_fetch_requests_total"], delta["scdn_fetch_failures_total"],
+		delta["scdn_local_hits_total"], delta["scdn_peer_hits_total"],
+		delta["scdn_origin_fetches_total"], delta["scdn_peer_retries_total"],
+		delta["scdn_fetch_latency_seconds_count"])
+
+	ok := true
+	if failed.Load() != 0 {
+		ok = false
+	}
+	if delta["scdn_fetch_requests_total"] != issued.Load() {
+		fmt.Printf("metrics mismatch: cluster saw %d fetches, loadgen issued %d\n",
+			delta["scdn_fetch_requests_total"], issued.Load())
+		ok = false
+	}
+	if delta["scdn_fetch_latency_seconds_count"] != issued.Load() {
+		fmt.Printf("metrics mismatch: cluster recorded %d latency samples, want %d\n",
+			delta["scdn_fetch_latency_seconds_count"], issued.Load())
+		ok = false
+	}
+	if delta["scdn_fetch_failures_total"] != 0 {
+		fmt.Printf("metrics mismatch: cluster recorded %d fetch failures\n",
+			delta["scdn_fetch_failures_total"])
+		ok = false
+	}
+	if ok {
+		fmt.Println("metrics reconciliation: OK")
+	} else {
+		os.Exit(1)
+	}
+}
+
+func loginHTTP(client *http.Client, base string, user int64) (string, error) {
+	body, _ := json.Marshal(server.LoginRequest{User: user})
+	resp, err := client.Post(base+"/v1/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("login status %s", resp.Status)
+	}
+	var lr server.LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return "", err
+	}
+	return lr.Token, nil
+}
+
+func resolveHTTP(client *http.Client, base, tok, dataset string) error {
+	body, _ := json.Marshal(server.ResolveRequest{Dataset: dataset})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/resolve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("resolve status %s", resp.Status)
+	}
+	var rr server.ResolveResponse
+	return json.NewDecoder(resp.Body).Decode(&rr)
+}
+
+func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
+	wantBytes int64, verify bool) (int64, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/fetch/"+string(ds), nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %s", resp.Status)
+	}
+	if verify {
+		return server.VerifyPayload(resp.Body, ds, wantBytes)
+	}
+	return io.Copy(io.Discard, resp.Body)
+}
+
+func reportHTTP(client *http.Client, base, tok string, user int64, accesses uint64) error {
+	body, _ := json.Marshal(server.ReportRequest{Client: user, Accesses: accesses})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// scrapeAll sums plain counter lines from every node's /metrics.
+func scrapeAll(urls []string) map[string]uint64 {
+	out := make(map[string]uint64)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, base := range urls {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 2 || strings.Contains(fields[0], "{") {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				continue
+			}
+			out[fields[0]] += uint64(v)
+		}
+		resp.Body.Close()
+	}
+	return out
+}
+
+// diffScrapes subtracts the pre-run scrape so the reconciliation works
+// against an already-warm external cluster too.
+func diffScrapes(before, after map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scdn-loadgen:", err)
+	os.Exit(1)
+}

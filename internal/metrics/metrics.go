@@ -11,32 +11,44 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotone event count.
-type Counter struct{ v uint64 }
+// Counter is a monotone event count. Counters are goroutine-safe so the
+// same metric set can be shared between the single-threaded simulator and
+// the concurrent HTTP serving plane; the zero value is ready to use.
+type Counter struct{ v atomic.Uint64 }
 
-// Inc adds one. Add adds n (negative n panics — counters are monotone).
-func (c *Counter) Inc() { c.v++ }
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n to the counter.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Gauge is a point-in-time value.
-type Gauge struct{ v float64 }
+// Gauge is a point-in-time value. Like Counter it is goroutine-safe; the
+// float is stored as its IEEE-754 bits and Add retries on contention.
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta.
-func (g *Gauge) Add(delta float64) { g.v += delta }
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Value returns the gauge.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations for quantile and mean queries. It
 // stores raw values; S-CDN simulations observe at most a few million

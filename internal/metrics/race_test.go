@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers Counter and Gauge from many
+// goroutines; run under -race it is the regression test for the atomic
+// implementations the HTTP serving plane depends on.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 2000
+	)
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iterations; j++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := uint64(goroutines * iterations * 3); c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+	if want := float64(goroutines*iterations) * 0.5; math.Abs(g.Value()-want) > 1e-9 {
+		t.Fatalf("gauge = %v, want %v", g.Value(), want)
+	}
+}
+
+// TestGaugeConcurrentSetReaders checks Set/Value never tear a float even
+// with concurrent readers and writers.
+func TestGaugeConcurrentSetReaders(t *testing.T) {
+	valid := map[float64]bool{0: true, 1.25: true, -7.5: true}
+	var g Gauge
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := g.Value(); !valid[v] {
+					t.Errorf("torn read: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		g.Set(1.25)
+		g.Set(-7.5)
+		g.Set(0)
+	}
+	close(stop)
+	wg.Wait()
+}

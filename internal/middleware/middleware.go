@@ -7,6 +7,8 @@ package middleware
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"scdn/internal/graph"
@@ -18,17 +20,22 @@ import (
 // virtual time.
 type Clock func() time.Duration
 
-// Middleware bridges the social platform and the CDN.
+// Middleware bridges the social platform and the CDN. It is safe for
+// concurrent use: the HTTP serving plane authorizes every request through
+// one shared Middleware.
 type Middleware struct {
 	platform *socialnet.Platform
 	clock    Clock
 	// TokenTTL is the session lifetime for Login.
 	TokenTTL time.Duration
+	// mu guards datasetGroup; the scope map is read on every authorization
+	// and written only at registration time.
+	mu sync.RWMutex
 	// datasetGroup scopes each dataset to the collaboration group whose
 	// members may access it.
 	datasetGroup map[storage.DatasetID]string
 	// denied counts rejected authorization checks (Section V-E inputs).
-	denied uint64
+	denied atomic.Uint64
 }
 
 // New creates a middleware over a platform. clock must be non-nil.
@@ -63,6 +70,8 @@ func (m *Middleware) Authenticate(tok socialnet.Token) (socialnet.UserID, error)
 // an already-scoped dataset to a different group is an error (data must
 // not silently change trust boundaries).
 func (m *Middleware) RegisterDataset(id storage.DatasetID, group string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if g, ok := m.datasetGroup[id]; ok && g != group {
 		return fmt.Errorf("middleware: dataset %q already scoped to group %q", id, g)
 	}
@@ -73,6 +82,8 @@ func (m *Middleware) RegisterDataset(id storage.DatasetID, group string) error {
 
 // DatasetGroup returns the group a dataset is scoped to.
 func (m *Middleware) DatasetGroup(id storage.DatasetID) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	g, ok := m.datasetGroup[id]
 	return g, ok
 }
@@ -83,28 +94,28 @@ func (m *Middleware) DatasetGroup(id storage.DatasetID) (string, bool) {
 func (m *Middleware) Authorize(tok socialnet.Token, id storage.DatasetID) (socialnet.UserID, error) {
 	user, err := m.Authenticate(tok)
 	if err != nil {
-		m.denied++
+		m.denied.Add(1)
 		return 0, err
 	}
-	group, ok := m.datasetGroup[id]
+	group, ok := m.DatasetGroup(id)
 	if !ok {
-		m.denied++
+		m.denied.Add(1)
 		return 0, fmt.Errorf("middleware: dataset %q is not registered with any group", id)
 	}
 	if !m.platform.InGroup(group, user) {
-		m.denied++
+		m.denied.Add(1)
 		return 0, fmt.Errorf("middleware: user %d is not a member of group %q", user, group)
 	}
 	return user, nil
 }
 
 // Denied returns the number of rejected authorization attempts.
-func (m *Middleware) Denied() uint64 { return m.denied }
+func (m *Middleware) Denied() uint64 { return m.denied.Load() }
 
 // GroupGraph returns the social graph restricted to the dataset's group —
 // the overlay the allocation servers place replicas on.
 func (m *Middleware) GroupGraph(id storage.DatasetID) (*graph.Graph, error) {
-	group, ok := m.datasetGroup[id]
+	group, ok := m.DatasetGroup(id)
 	if !ok {
 		return nil, fmt.Errorf("middleware: dataset %q is not registered with any group", id)
 	}

@@ -1,0 +1,57 @@
+package server
+
+// Wire types of the serving-plane HTTP API (v1). All bodies are JSON.
+//
+//	POST /v1/login    LoginRequest → LoginResponse
+//	POST /v1/resolve  ResolveRequest → ResolveResponse   (Bearer token)
+//	GET  /v1/fetch/{dataset}  → payload bytes            (Bearer token)
+//	POST /v1/report   ReportRequest → 204                (Bearer token)
+//	GET  /metrics     → text exposition
+//	GET  /healthz     → "ok"
+
+// peerHeader marks a fetch as an edge-to-edge hop: the receiving node
+// serves only from its local repository and never fans out again, which
+// bounds a fallback chain at one hop and makes proxy loops impossible.
+const peerHeader = "X-SCDN-Peer"
+
+// LoginRequest authenticates a platform user and opens a session. In the
+// paper the credentials come from the social network platform; here the
+// platform is in-process, so the serving plane fronts its auth service.
+type LoginRequest struct {
+	User int64 `json:"user"`
+}
+
+// LoginResponse carries the session token.
+type LoginResponse struct {
+	Token string `json:"token"`
+}
+
+// ResolveRequest asks for the best replica of a dataset. The requester is
+// taken from the session token; the body names only the dataset.
+type ResolveRequest struct {
+	Dataset string `json:"dataset"`
+}
+
+// ResolveResponse names the selected replica holder. URL is empty when
+// the holder contributes storage but no HTTP endpoint.
+type ResolveResponse struct {
+	Dataset string `json:"dataset"`
+	Node    int64  `json:"node"`
+	Site    int    `json:"site"`
+	URL     string `json:"url,omitempty"`
+	Origin  bool   `json:"origin"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// ReportRequest delivers client-side usage statistics (Section V-A: the
+// client "reports usage statistics" to the allocation servers).
+type ReportRequest struct {
+	Client    int64             `json:"client"`
+	Accesses  uint64            `json:"accesses"`
+	ByOutcome map[string]uint64 `json:"by_outcome,omitempty"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

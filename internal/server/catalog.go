@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"scdn/internal/allocation"
+	"scdn/internal/storage"
+)
+
+// Catalog is the serving plane's view of the allocation-server cluster.
+// The allocation package is deliberately single-threaded (the simulator
+// owns its own event loop); here every HTTP request may touch the catalog
+// concurrently, so one mutex serializes access. Resolution is cheap
+// (sorted scan over a replica set), so a single lock is not the
+// bottleneck — the network is.
+type Catalog struct {
+	mu      sync.Mutex
+	cluster *allocation.Cluster
+}
+
+// NewCatalog builds a locked catalog over n allocation servers sharing
+// the registry as their directory.
+func NewCatalog(n int, dir allocation.Directory) (*Catalog, error) {
+	cl, err := allocation.NewCluster(n, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{cluster: cl}, nil
+}
+
+// RegisterDataset catalogs a dataset with its origin node and size.
+func (c *Catalog) RegisterDataset(id storage.DatasetID, origin allocation.NodeID, bytes int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.RegisterDataset(id, origin, bytes)
+}
+
+// AddReplica records a new replica holder.
+func (c *Catalog) AddReplica(id storage.DatasetID, node allocation.NodeID, at time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.AddReplica(id, node, at)
+}
+
+// RemoveReplica deletes a replica record.
+func (c *Catalog) RemoveReplica(id storage.DatasetID, node allocation.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.RemoveReplica(id, node)
+}
+
+// Resolve picks the best online replica for a requester.
+func (c *Catalog) Resolve(id storage.DatasetID, requester allocation.NodeID) (allocation.Replica, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.Resolve(id, requester)
+}
+
+// Replicas lists a dataset's replica holders.
+func (c *Catalog) Replicas(id storage.DatasetID) ([]allocation.Replica, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.Replicas(id)
+}
+
+// DatasetBytes returns a dataset's size.
+func (c *Catalog) DatasetBytes(id storage.DatasetID) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.DatasetBytes(id)
+}
+
+// Origin returns a dataset's origin node.
+func (c *Catalog) Origin(id storage.DatasetID) (allocation.NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.Origin(id)
+}
+
+// Datasets lists all catalogued dataset IDs.
+func (c *Catalog) Datasets() ([]storage.DatasetID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.Datasets()
+}
+
+// ReplicaCount returns a dataset's replica count.
+func (c *Catalog) ReplicaCount(id storage.DatasetID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.ReplicaCount(id)
+}
+
+// Stats aggregates lookup statistics across the cluster's members.
+func (c *Catalog) Stats() (lookups, resolved, unresolved uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cluster.Stats()
+}

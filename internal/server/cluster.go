@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"scdn/internal/allocation"
+	"scdn/internal/middleware"
+	"scdn/internal/socialnet"
+	"scdn/internal/storage"
+)
+
+// ClusterConfig parameterizes an in-process edge cluster listening on
+// real TCP sockets — the serving-plane analogue of the simulator's
+// Community.Build.
+type ClusterConfig struct {
+	// Nodes is the edge-server count (default 3).
+	Nodes int
+	// Sites spreads nodes and users across this many network sites
+	// (default: one site per node).
+	Sites int
+	// CatalogServers is the allocation-cluster membership (default 2).
+	CatalogServers int
+	// Users is the number of client-only participants (default 8).
+	Users int
+	// Datasets is the number of published datasets (default 12) of
+	// DatasetBytes each (default 64 KiB), owned round-robin by the edges.
+	Datasets     int
+	DatasetBytes int64
+	// RepoCapacity / ReplicaReserve size each edge repository
+	// (defaults 1 GiB / 512 MiB).
+	RepoCapacity   int64
+	ReplicaReserve int64
+	// Group is the collaboration every participant and dataset belongs
+	// to (default "live-collab").
+	Group string
+	// Seed drives the platform's token generation.
+	Seed int64
+	// PullThrough enables demand-driven replica caching on the edges.
+	PullThrough bool
+	// FetchAttempts bounds each edge's peer-fallback retries.
+	FetchAttempts int
+	// ListenHost is the bind address (default 127.0.0.1); ports are
+	// ephemeral.
+	ListenHost string
+}
+
+func (c *ClusterConfig) applyDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Sites <= 0 {
+		c.Sites = c.Nodes
+	}
+	if c.CatalogServers <= 0 {
+		c.CatalogServers = 2
+	}
+	if c.Users <= 0 {
+		c.Users = 8
+	}
+	if c.Datasets <= 0 {
+		c.Datasets = 12
+	}
+	if c.DatasetBytes <= 0 {
+		c.DatasetBytes = 64 << 10
+	}
+	if c.RepoCapacity <= 0 {
+		c.RepoCapacity = 1 << 30
+	}
+	if c.ReplicaReserve <= 0 {
+		c.ReplicaReserve = c.RepoCapacity / 2
+	}
+	if c.Group == "" {
+		c.Group = "live-collab"
+	}
+	if c.ListenHost == "" {
+		c.ListenHost = "127.0.0.1"
+	}
+}
+
+// clientUserBase offsets client user IDs away from edge node IDs.
+const clientUserBase = 100
+
+// LocalCluster is a running in-process cluster: N edge nodes over
+// loopback TCP sharing one platform, middleware, registry, and catalog.
+type LocalCluster struct {
+	Config     ClusterConfig
+	Platform   *socialnet.Platform
+	Middleware *middleware.Middleware
+	Registry   *Registry
+	Catalog    *Catalog
+	Nodes      []*Node
+	// UserIDs are the client participants; DatasetIDs the published data.
+	UserIDs    []socialnet.UserID
+	DatasetIDs []storage.DatasetID
+}
+
+// StartLocalCluster assembles and starts a cluster. On any error the
+// already-started nodes are shut down before returning.
+func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
+	cfg.applyDefaults()
+	platform := socialnet.New(cfg.Seed)
+	start := time.Now()
+	clock := func() time.Duration { return time.Since(start) }
+	mw := middleware.New(platform, clock)
+	reg := NewRegistry()
+	catalog, err := NewCatalog(cfg.CatalogServers, reg)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{
+		Config: cfg, Platform: platform, Middleware: mw,
+		Registry: reg, Catalog: catalog,
+	}
+
+	// Edge nodes are researchers contributing repositories (Section V-A):
+	// platform users, group members, registry members, one repo each.
+	repos := make([]*storage.Repository, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeID := allocation.NodeID(i + 1)
+		site := i % cfg.Sites
+		if err := platform.Register(socialnet.UserID(nodeID), socialnet.Profile{
+			Name: fmt.Sprintf("edge-%d", nodeID), SiteID: site,
+		}); err != nil {
+			return nil, err
+		}
+		if err := platform.JoinGroup(cfg.Group, socialnet.UserID(nodeID)); err != nil {
+			return nil, err
+		}
+		reg.Register(Member{Node: nodeID, Site: site})
+		repo, err := storage.NewRepository(nodeID, site, cfg.RepoCapacity, cfg.ReplicaReserve)
+		if err != nil {
+			return nil, err
+		}
+		repos[i] = repo
+		node, err := NewNode(Config{
+			Node:          nodeID,
+			ListenAddr:    cfg.ListenHost + ":0",
+			PullThrough:   cfg.PullThrough,
+			FetchAttempts: cfg.FetchAttempts,
+			Clock:         clock,
+		}, repo, mw, catalog, reg)
+		if err != nil {
+			return nil, err
+		}
+		lc.Nodes = append(lc.Nodes, node)
+	}
+
+	// Client participants: consume data but serve nothing.
+	for u := 0; u < cfg.Users; u++ {
+		uid := socialnet.UserID(clientUserBase + 1 + u)
+		site := u % cfg.Sites
+		if err := platform.Register(uid, socialnet.Profile{
+			Name: fmt.Sprintf("user-%d", uid), SiteID: site,
+		}); err != nil {
+			return nil, err
+		}
+		if err := platform.JoinGroup(cfg.Group, uid); err != nil {
+			return nil, err
+		}
+		reg.Register(Member{Node: allocation.NodeID(uid), Site: site, Online: true})
+		lc.UserIDs = append(lc.UserIDs, uid)
+	}
+
+	// Datasets: group-scoped, owned round-robin by the edges; the
+	// owner's repository holds the origin copy.
+	for d := 0; d < cfg.Datasets; d++ {
+		id := storage.DatasetID(fmt.Sprintf("ds-%03d", d+1))
+		originIdx := d % cfg.Nodes
+		origin := allocation.NodeID(originIdx + 1)
+		if err := mw.RegisterDataset(id, cfg.Group); err != nil {
+			return nil, err
+		}
+		if err := catalog.RegisterDataset(id, origin, cfg.DatasetBytes); err != nil {
+			return nil, err
+		}
+		if err := repos[originIdx].StoreUser(id, cfg.DatasetBytes, 0); err != nil {
+			return nil, err
+		}
+		lc.DatasetIDs = append(lc.DatasetIDs, id)
+	}
+
+	for _, node := range lc.Nodes {
+		if err := node.Start(); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = lc.Shutdown(ctx)
+			cancel()
+			return nil, err
+		}
+	}
+	return lc, nil
+}
+
+// URLs returns the running nodes' endpoints.
+func (lc *LocalCluster) URLs() []string {
+	out := make([]string, 0, len(lc.Nodes))
+	for _, n := range lc.Nodes {
+		out = append(out, n.BaseURL())
+	}
+	return out
+}
+
+// Login opens a session for a participant directly against the
+// middleware (tests and in-process drivers; remote clients use
+// POST /v1/login).
+func (lc *LocalCluster) Login(user socialnet.UserID) (socialnet.Token, error) {
+	return lc.Middleware.Login(user)
+}
+
+// Shutdown gracefully stops every node, returning the first error.
+func (lc *LocalCluster) Shutdown(ctx context.Context) error {
+	var firstErr error
+	for _, n := range lc.Nodes {
+		if err := n.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"scdn/internal/allocation"
+	"scdn/internal/socialnet"
+	"scdn/internal/storage"
+)
+
+// Handler returns the node's HTTP API.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/login", n.handleLogin)
+	mux.HandleFunc("POST /v1/resolve", n.handleResolve)
+	mux.HandleFunc("GET /v1/fetch/{dataset}", n.handleFetch)
+	mux.HandleFunc("POST /v1/report", n.handleReport)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	return mux
+}
+
+// bearerToken extracts the session token from the Authorization header.
+func bearerToken(r *http.Request) socialnet.Token {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if strings.HasPrefix(h, prefix) {
+		return socialnet.Token(h[len(prefix):])
+	}
+	return ""
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (n *Node) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (n *Node) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = n.Metrics.WriteExposition(w, time.Since(n.started))
+}
+
+func (n *Node) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req LoginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad login body: %w", err))
+		return
+	}
+	tok, err := n.auth.Login(socialnet.UserID(req.User))
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	n.Metrics.Logins.Inc()
+	writeJSON(w, http.StatusOK, LoginResponse{Token: string(tok)})
+}
+
+func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	n.Metrics.ResolveRequests.Inc()
+	defer func() { n.Metrics.ResolveLatency.Observe(time.Since(start).Seconds()) }()
+	var req ResolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad resolve body: %w", err))
+		return
+	}
+	id := storage.DatasetID(req.Dataset)
+	user, err := n.auth.Authorize(bearerToken(r), id)
+	if err != nil {
+		n.Metrics.AuthDenied.Inc()
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	rep, ok, err := n.catalog.Resolve(id, allocation.NodeID(user))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !ok {
+		n.Metrics.ResolveMisses.Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server: no online replica for %q", id))
+		return
+	}
+	bytes, err := n.catalog.DatasetBytes(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	origin, err := n.catalog.Origin(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	peerURL, _ := n.registry.BaseURL(rep.Node)
+	writeJSON(w, http.StatusOK, ResolveResponse{
+		Dataset: req.Dataset,
+		Node:    rep.Node,
+		Site:    rep.Site,
+		URL:     peerURL,
+		Origin:  rep.Node == origin,
+		Bytes:   bytes,
+	})
+}
+
+func (n *Node) handleReport(w http.ResponseWriter, r *http.Request) {
+	if _, err := n.auth.Authenticate(bearerToken(r)); err != nil {
+		n.Metrics.AuthDenied.Inc()
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad report body: %w", err))
+		return
+	}
+	n.Metrics.Reports.Inc()
+	n.Metrics.ReportedAccesses.Add(req.Accesses)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := storage.DatasetID(r.PathValue("dataset"))
+	fromPeer := r.Header.Get(peerHeader) != ""
+	if fromPeer {
+		n.Metrics.PeerFetchRequests.Inc()
+	} else {
+		n.Metrics.FetchRequests.Inc()
+		defer func() { n.Metrics.FetchLatency.Observe(time.Since(start).Seconds()) }()
+	}
+	fail := func(status int, err error) {
+		if !fromPeer {
+			n.Metrics.FetchFailures.Inc()
+		}
+		writeError(w, status, err)
+	}
+	if _, err := n.auth.Authorize(bearerToken(r), id); err != nil {
+		n.Metrics.AuthDenied.Inc()
+		fail(http.StatusForbidden, err)
+		return
+	}
+	bytes, berr := n.catalog.DatasetBytes(id)
+	if n.hasLocal(id) {
+		if berr != nil {
+			fail(http.StatusInternalServerError, berr)
+			return
+		}
+		n.serveLocal(w, id, bytes)
+		return
+	}
+	if fromPeer {
+		// Peer hops never fan out again: a fallback chain is one hop.
+		fail(http.StatusNotFound, fmt.Errorf("server: node %d does not hold %q", n.cfg.Node, id))
+		return
+	}
+	if berr != nil {
+		fail(http.StatusNotFound, berr)
+		return
+	}
+	n.proxyFetch(w, r, id, bytes, fail)
+}
+
+// serveLocal streams the dataset from this edge's repository.
+func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID, bytes int64) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(bytes))
+	w.Header().Set("X-SCDN-Source", fmt.Sprint(n.cfg.Node))
+	w.WriteHeader(http.StatusOK)
+	written, _ := WritePayload(w, id, bytes)
+	n.Metrics.LocalHits.Inc()
+	n.Metrics.BytesServed.Add(uint64(written))
+}
+
+// proxyFetch realizes the edge fallback: resolve the dataset's replica
+// holders, order them by estimated RTT from this edge's site, and try
+// them with bounded retry and exponential backoff, streaming the first
+// successful response to the client.
+func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
+	bytes int64, fail func(int, error)) {
+	reps, err := n.catalog.Replicas(id)
+	if err != nil {
+		fail(http.StatusBadGateway, err)
+		return
+	}
+	origin, err := n.catalog.Origin(id)
+	if err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	cands := n.orderCandidates(reps)
+	if len(cands) == 0 {
+		fail(http.StatusBadGateway, fmt.Errorf("server: no reachable replica for %q", id))
+		return
+	}
+	backoff := n.cfg.RetryBase
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.FetchAttempts; attempt++ {
+		if attempt > 0 {
+			n.Metrics.PeerRetries.Inc()
+			select {
+			case <-r.Context().Done():
+				fail(http.StatusBadGateway, r.Context().Err())
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > n.cfg.RetryMax {
+				backoff = n.cfg.RetryMax
+			}
+		}
+		cand := cands[attempt%len(cands)]
+		committed, err := n.tryPeer(w, r, id, cand, bytes, origin)
+		if committed {
+			return
+		}
+		lastErr = err
+	}
+	fail(http.StatusBadGateway,
+		fmt.Errorf("server: all %d fetch attempts for %q failed: %w", n.cfg.FetchAttempts, id, lastErr))
+}
+
+// orderCandidates filters replica holders down to online peers with an
+// endpoint (excluding this node) and sorts them by estimated RTT from
+// this edge's site, ties by node ID for determinism.
+func (n *Node) orderCandidates(reps []allocation.Replica) []allocation.Replica {
+	mySite, _ := n.registry.SiteOf(n.cfg.Node)
+	cands := make([]allocation.Replica, 0, len(reps))
+	for _, rep := range reps {
+		if rep.Node == n.cfg.Node || !n.registry.Online(rep.Node) {
+			continue
+		}
+		if _, ok := n.registry.BaseURL(rep.Node); !ok {
+			continue
+		}
+		cands = append(cands, rep)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ri, _ := n.registry.RTT(mySite, cands[i].Site)
+		rj, _ := n.registry.RTT(mySite, cands[j].Site)
+		if ri != rj {
+			return ri < rj
+		}
+		return cands[i].Node < cands[j].Node
+	})
+	return cands
+}
+
+// tryPeer fetches the dataset from one peer edge and, on success, streams
+// it through to the client. committed reports whether a response was
+// written (successfully or not) — once headers are on the wire there is
+// no retrying.
+func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
+	cand allocation.Replica, bytes int64, origin allocation.NodeID) (committed bool, _ error) {
+	base, ok := n.registry.BaseURL(cand.Node)
+	if !ok {
+		return false, ErrNoEndpoint
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		base+"/v1/fetch/"+url.PathEscape(string(id)), nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set(peerHeader, fmt.Sprint(n.cfg.Node))
+	req.Header.Set("Authorization", r.Header.Get("Authorization"))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a bounded amount so the connection can be reused.
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return false, fmt.Errorf("server: peer %d returned %s", cand.Node, resp.Status)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(bytes))
+	w.Header().Set("X-SCDN-Source", fmt.Sprint(cand.Node))
+	w.WriteHeader(http.StatusOK)
+	written, copyErr := io.Copy(w, resp.Body)
+	n.Metrics.BytesServed.Add(uint64(written))
+	if copyErr != nil || written != bytes {
+		n.Metrics.FetchFailures.Inc()
+		return true, copyErr
+	}
+	if cand.Node == origin {
+		n.Metrics.OriginFetches.Inc()
+	} else {
+		n.Metrics.PeerHits.Inc()
+	}
+	if n.cfg.PullThrough {
+		n.cachePulled(id, bytes)
+	}
+	return true, nil
+}

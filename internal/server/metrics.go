@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"scdn/internal/metrics"
+)
+
+// LatencyHist is a goroutine-safe wrapper around metrics.Histogram for
+// request latencies. The underlying histogram keeps raw samples (exact
+// quantiles); a mutex serializes Observe against quantile queries, which
+// sort in place.
+type LatencyHist struct {
+	mu sync.Mutex
+	h  metrics.Histogram
+}
+
+// Observe records one latency sample in seconds.
+func (l *LatencyHist) Observe(seconds float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h.Observe(seconds)
+}
+
+// HistSummary is a point-in-time histogram digest.
+type HistSummary struct {
+	Count               int
+	Mean, P50, P95, P99 float64
+}
+
+// Summary returns the histogram digest.
+func (l *LatencyHist) Summary() HistSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return HistSummary{
+		Count: l.h.Count(),
+		Mean:  l.h.Mean(),
+		P50:   l.h.Quantile(0.5),
+		P95:   l.h.Quantile(0.95),
+		P99:   l.h.Quantile(0.99),
+	}
+}
+
+// Metrics is one node's serving-plane metric set, built on the
+// goroutine-safe internal/metrics primitives. Client-facing and
+// peer-internal traffic are counted separately so a load generator's
+// request totals can be reconciled against the cluster's exposition
+// without double-counting proxy hops.
+type Metrics struct {
+	// ResolveRequests / ResolveMisses count POST /v1/resolve calls and
+	// the subset that found no online replica.
+	ResolveRequests metrics.Counter
+	ResolveMisses   metrics.Counter
+	// FetchRequests / FetchFailures count client-facing GET /v1/fetch
+	// calls; PeerFetchRequests counts fetches arriving from another edge
+	// (the internal hop of a fallback).
+	FetchRequests     metrics.Counter
+	FetchFailures     metrics.Counter
+	PeerFetchRequests metrics.Counter
+	// LocalHits: served from this node's repository. PeerHits: proxied
+	// from another edge's replica. OriginFetches: proxied from the
+	// dataset's origin because no other replica was reachable.
+	LocalHits     metrics.Counter
+	PeerHits      metrics.Counter
+	OriginFetches metrics.Counter
+	// PeerRetries counts fallback attempts that failed and were retried
+	// with backoff.
+	PeerRetries metrics.Counter
+	// AuthDenied counts rejected authorizations; Reports counts
+	// POST /v1/report deliveries; Logins counts issued sessions.
+	AuthDenied metrics.Counter
+	Reports    metrics.Counter
+	Logins     metrics.Counter
+	// BytesServed totals payload bytes sent to clients and peers.
+	BytesServed metrics.Counter
+	// ReportedAccesses aggregates client-side access counts delivered
+	// via /v1/report (the Section V-A usage statistics).
+	ReportedAccesses metrics.Counter
+	// FetchLatency / ResolveLatency are end-to-end handler latencies in
+	// seconds for client-facing requests.
+	FetchLatency   LatencyHist
+	ResolveLatency LatencyHist
+}
+
+// WriteExposition writes the node's metrics in a Prometheus-style text
+// format. up is the node's uptime.
+func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("scdn_up 1\n")
+	p("scdn_uptime_seconds %.3f\n", up.Seconds())
+	counters := []struct {
+		name string
+		c    *metrics.Counter
+	}{
+		{"scdn_resolve_requests_total", &m.ResolveRequests},
+		{"scdn_resolve_misses_total", &m.ResolveMisses},
+		{"scdn_fetch_requests_total", &m.FetchRequests},
+		{"scdn_fetch_failures_total", &m.FetchFailures},
+		{"scdn_peer_fetch_requests_total", &m.PeerFetchRequests},
+		{"scdn_local_hits_total", &m.LocalHits},
+		{"scdn_peer_hits_total", &m.PeerHits},
+		{"scdn_origin_fetches_total", &m.OriginFetches},
+		{"scdn_peer_retries_total", &m.PeerRetries},
+		{"scdn_auth_denied_total", &m.AuthDenied},
+		{"scdn_reports_total", &m.Reports},
+		{"scdn_logins_total", &m.Logins},
+		{"scdn_bytes_served_total", &m.BytesServed},
+		{"scdn_reported_accesses_total", &m.ReportedAccesses},
+	}
+	for _, c := range counters {
+		p("%s %d\n", c.name, c.c.Value())
+	}
+	hists := []struct {
+		name string
+		h    *LatencyHist
+	}{
+		{"scdn_fetch_latency_seconds", &m.FetchLatency},
+		{"scdn_resolve_latency_seconds", &m.ResolveLatency},
+	}
+	for _, h := range hists {
+		s := h.h.Summary()
+		p("%s{quantile=\"0.5\"} %.6f\n", h.name, s.P50)
+		p("%s{quantile=\"0.95\"} %.6f\n", h.name, s.P95)
+		p("%s{quantile=\"0.99\"} %.6f\n", h.name, s.P99)
+		p("%s_mean %.6f\n", h.name, s.Mean)
+		p("%s_count %d\n", h.name, s.Count)
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistSummary(t *testing.T) {
+	var h LatencyHist
+	if s := h.Summary(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 0.050 || s.P95 != 0.095 || s.P99 != 0.099 {
+		t.Fatalf("quantiles = %+v", s)
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.001)
+				_ = h.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Summary(); s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+}
+
+func TestWriteExposition(t *testing.T) {
+	m := &Metrics{}
+	m.FetchRequests.Add(7)
+	m.LocalHits.Add(5)
+	m.BytesServed.Add(1234)
+	m.FetchLatency.Observe(0.25)
+	var sb strings.Builder
+	if err := m.WriteExposition(&sb, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"scdn_up 1\n",
+		"scdn_uptime_seconds 3.000\n",
+		"scdn_fetch_requests_total 7\n",
+		"scdn_local_hits_total 5\n",
+		"scdn_bytes_served_total 1234\n",
+		"scdn_fetch_latency_seconds{quantile=\"0.5\"} 0.250000\n",
+		"scdn_fetch_latency_seconds_count 1\n",
+		"scdn_resolve_latency_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"scdn/internal/storage"
+)
+
+// The repositories track dataset *metadata* (sizes, partitions, recency);
+// the serving plane still has to put real bytes on the wire. Payload
+// bytes are derived deterministically from the dataset ID, so any edge
+// holding a dataset serves the identical stream and clients can verify
+// integrity without the cluster shipping content around out of band.
+
+// payloadBlockSize is the repetition unit of a dataset's byte stream.
+const payloadBlockSize = 4096
+
+// payloadBlock builds a dataset's repetition block by chaining SHA-256
+// over the dataset ID.
+func payloadBlock(id storage.DatasetID) []byte {
+	block := make([]byte, 0, payloadBlockSize)
+	sum := sha256.Sum256([]byte(id))
+	for len(block) < payloadBlockSize {
+		block = append(block, sum[:]...)
+		sum = sha256.Sum256(sum[:])
+	}
+	return block[:payloadBlockSize]
+}
+
+// WritePayload streams a dataset's first n bytes to w and returns the
+// bytes written.
+func WritePayload(w io.Writer, id storage.DatasetID, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("server: negative payload size %d", n)
+	}
+	block := payloadBlock(id)
+	var written int64
+	for written < n {
+		chunk := int64(len(block))
+		if rem := n - written; rem < chunk {
+			chunk = rem
+		}
+		m, err := w.Write(block[:chunk])
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// VerifyPayload consumes r and checks that it carries exactly the
+// dataset's deterministic stream of length n. It returns the bytes read
+// and the first mismatch found.
+func VerifyPayload(r io.Reader, id storage.DatasetID, n int64) (int64, error) {
+	block := payloadBlock(id)
+	buf := make([]byte, payloadBlockSize)
+	var read int64
+	for {
+		m, err := r.Read(buf)
+		for i := 0; i < m; i++ {
+			if read >= n {
+				return read, fmt.Errorf("server: payload for %q longer than %d bytes", id, n)
+			}
+			if buf[i] != block[read%payloadBlockSize] {
+				return read, fmt.Errorf("server: payload for %q corrupt at offset %d", id, read)
+			}
+			read++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return read, err
+		}
+	}
+	if read != n {
+		return read, fmt.Errorf("server: payload for %q truncated: %d of %d bytes", id, read, n)
+	}
+	return read, nil
+}

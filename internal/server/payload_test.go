@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPayloadDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := WritePayload(&a, "ds-001", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WritePayload(&b, "ds-001", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same dataset produced different payloads")
+	}
+	var c bytes.Buffer
+	if _, err := WritePayload(&c, "ds-002", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different datasets produced identical payloads")
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	for _, n := range []int64{0, 1, payloadBlockSize - 1, payloadBlockSize, payloadBlockSize + 1, 3*payloadBlockSize + 17} {
+		var buf bytes.Buffer
+		written, err := WritePayload(&buf, "ds-x", n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if written != n || int64(buf.Len()) != n {
+			t.Fatalf("n=%d: wrote %d bytes", n, buf.Len())
+		}
+	}
+	if _, err := WritePayload(&bytes.Buffer{}, "ds-x", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestVerifyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 9000
+	if _, err := WritePayload(&buf, "ds-ok", n); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if read, err := VerifyPayload(bytes.NewReader(good), "ds-ok", n); err != nil || read != n {
+		t.Fatalf("verify = %d, %v", read, err)
+	}
+	// Wrong dataset → corrupt.
+	if _, err := VerifyPayload(bytes.NewReader(good), "ds-other", n); err == nil {
+		t.Fatal("wrong dataset verified")
+	}
+	// Truncated stream.
+	if _, err := VerifyPayload(bytes.NewReader(good[:n-1]), "ds-ok", n); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+	// Over-long stream.
+	if _, err := VerifyPayload(bytes.NewReader(append(append([]byte(nil), good...), 0)), "ds-ok", n); err == nil {
+		t.Fatal("over-long stream verified")
+	}
+	// Flipped byte.
+	bad := append([]byte(nil), good...)
+	bad[1234] ^= 0xff
+	if _, err := VerifyPayload(bytes.NewReader(bad), "ds-ok", n); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scdn/internal/allocation"
+)
+
+// Member is one participant the serving plane knows about: an edge node
+// (BaseURL set) or a pure client (BaseURL empty). Both occupy the same
+// identifier space — in the paper every participant is a researcher who
+// may both consume data and contribute an edge repository.
+type Member struct {
+	Node allocation.NodeID
+	Site int
+	// BaseURL is the member's HTTP endpoint ("http://host:port"), empty
+	// for client-only members.
+	BaseURL string
+	Online  bool
+}
+
+// Registry is the live-membership directory of the serving plane. It
+// implements allocation.Directory, so the catalog's replica selection
+// (nearest online holder) runs against real node liveness. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	members map[allocation.NodeID]Member
+	// RTTFloor and RTTStep parameterize the inter-site latency estimate
+	// used for replica selection: floor + step × |siteA − siteB|.
+	RTTFloor time.Duration
+	RTTStep  time.Duration
+}
+
+// NewRegistry returns an empty registry with default RTT parameters.
+func NewRegistry() *Registry {
+	return &Registry{
+		members:  make(map[allocation.NodeID]Member),
+		RTTFloor: time.Millisecond,
+		RTTStep:  2 * time.Millisecond,
+	}
+}
+
+// Register adds or replaces a member record.
+func (r *Registry) Register(m Member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members[m.Node] = m
+}
+
+// SetOnline flips a member's liveness (no-op for unknown members).
+func (r *Registry) SetOnline(node allocation.NodeID, online bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[node]; ok {
+		m.Online = online
+		r.members[node] = m
+	}
+}
+
+// SetBaseURL records a member's HTTP endpoint once it starts listening.
+func (r *Registry) SetBaseURL(node allocation.NodeID, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[node]; ok {
+		m.BaseURL = url
+		r.members[node] = m
+	}
+}
+
+// BaseURL returns a member's endpoint.
+func (r *Registry) BaseURL(node allocation.NodeID) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[node]
+	if !ok || m.BaseURL == "" {
+		return "", false
+	}
+	return m.BaseURL, true
+}
+
+// Members returns all records sorted by node ID.
+func (r *Registry) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// SiteOf implements allocation.Directory.
+func (r *Registry) SiteOf(node allocation.NodeID) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[node]
+	return m.Site, ok
+}
+
+// Online implements allocation.Directory.
+func (r *Registry) Online(node allocation.NodeID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[node]
+	return ok && m.Online
+}
+
+// RTT implements allocation.Directory with a distance-proportional
+// estimate: co-located sites pay only the floor.
+func (r *Registry) RTT(siteA, siteB int) (time.Duration, error) {
+	d := siteA - siteB
+	if d < 0 {
+		d = -d
+	}
+	r.mu.RLock()
+	floor, step := r.RTTFloor, r.RTTStep
+	r.mu.RUnlock()
+	return floor + time.Duration(d)*step, nil
+}
+
+// interface check
+var _ allocation.Directory = (*Registry)(nil)
+
+// ErrNoEndpoint reports a member without a serving endpoint.
+var ErrNoEndpoint = fmt.Errorf("server: member has no endpoint")

@@ -1,0 +1,200 @@
+// Package server is the S-CDN's live delivery plane: a network-facing
+// HTTP allocation/edge server wrapping the simulator's building blocks —
+// the allocation catalog (Section V-B), researcher-contributed storage
+// repositories (Section V-A), and the social middleware's authentication
+// and group-scoped authorization (Section V-C) — behind a concurrent API.
+// Each Node is simultaneously an allocation endpoint (it resolves
+// requests against the shared catalog) and an edge repository (it serves
+// dataset bytes, falling back to a peer edge with bounded retry and
+// exponential backoff when it does not hold the data locally).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"scdn/internal/allocation"
+	"scdn/internal/middleware"
+	"scdn/internal/storage"
+)
+
+// Config parameterizes one node.
+type Config struct {
+	// Node is this edge's participant ID (its repository owner).
+	Node allocation.NodeID
+	// ListenAddr is the TCP address to bind ("127.0.0.1:0" for an
+	// ephemeral port).
+	ListenAddr string
+	// FetchAttempts bounds the peer-fallback retry loop (total attempts
+	// across candidates). Zero means the default of 4.
+	FetchAttempts int
+	// RetryBase is the first backoff delay; it doubles per retry up to
+	// RetryMax. Zeros mean 10ms and 250ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// PullThrough caches successfully proxied datasets in the local
+	// replica partition and registers the new replica in the catalog, so
+	// demand migrates data toward where it is requested.
+	PullThrough bool
+	// Clock supplies the node's notion of elapsed time (repository
+	// recency, token expiry). Nil means wall time since Start.
+	Clock func() time.Duration
+}
+
+// Node is one running allocation/edge server.
+type Node struct {
+	cfg      Config
+	auth     *middleware.Middleware
+	catalog  *Catalog
+	registry *Registry
+	Metrics  *Metrics
+
+	// repoMu serializes access to the repository, which is
+	// single-threaded by design (the simulator owns it elsewhere).
+	repoMu sync.Mutex
+	repo   *storage.Repository
+
+	client  *http.Client
+	httpSrv *http.Server
+	ln      net.Listener
+	started time.Time
+
+	mu      sync.Mutex
+	baseURL string
+	running bool
+}
+
+// NewNode wires a node over shared serving-plane state. All
+// collaborators are required.
+func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
+	catalog *Catalog, registry *Registry) (*Node, error) {
+	if repo == nil || auth == nil || catalog == nil || registry == nil {
+		return nil, errors.New("server: missing collaborator")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.FetchAttempts <= 0 {
+		cfg.FetchAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 250 * time.Millisecond
+	}
+	n := &Node{
+		cfg:      cfg,
+		repo:     repo,
+		auth:     auth,
+		catalog:  catalog,
+		registry: registry,
+		Metrics:  &Metrics{},
+		client:   &http.Client{Timeout: 30 * time.Second},
+	}
+	n.httpSrv = &http.Server{
+		Handler:           n.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return n, nil
+}
+
+// ID returns the node's participant ID.
+func (n *Node) ID() allocation.NodeID { return n.cfg.Node }
+
+// now returns elapsed time on the node's clock.
+func (n *Node) now() time.Duration {
+	if n.cfg.Clock != nil {
+		return n.cfg.Clock()
+	}
+	return time.Since(n.started)
+}
+
+// Start binds the listener, begins serving in a background goroutine,
+// and publishes the node's endpoint and liveness in the registry.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", n.cfg.ListenAddr, err)
+	}
+	n.ln = ln
+	n.started = time.Now()
+	n.baseURL = "http://" + ln.Addr().String()
+	n.running = true
+	n.registry.SetBaseURL(n.cfg.Node, n.baseURL)
+	n.registry.SetOnline(n.cfg.Node, true)
+	go func() {
+		if err := n.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The listener died outside a graceful shutdown: withdraw
+			// from the membership so peers stop selecting this edge.
+			n.registry.SetOnline(n.cfg.Node, false)
+		}
+	}()
+	return nil
+}
+
+// BaseURL returns the node's endpoint ("" before Start).
+func (n *Node) BaseURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.baseURL
+}
+
+// Shutdown withdraws the node from the membership and drains in-flight
+// requests until ctx expires.
+func (n *Node) Shutdown(ctx context.Context) error {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return nil
+	}
+	n.running = false
+	n.mu.Unlock()
+	n.registry.SetOnline(n.cfg.Node, false)
+	return n.httpSrv.Shutdown(ctx)
+}
+
+// RepoStats snapshots the node's repository statistics.
+func (n *Node) RepoStats() storage.Stats {
+	n.repoMu.Lock()
+	defer n.repoMu.Unlock()
+	return n.repo.Stats()
+}
+
+// hasLocal reports whether the repository holds the dataset, refreshing
+// recency on hit.
+func (n *Node) hasLocal(id storage.DatasetID) bool {
+	n.repoMu.Lock()
+	defer n.repoMu.Unlock()
+	_, ok := n.repo.Read(id, n.now())
+	return ok
+}
+
+// cachePulled stores a successfully proxied dataset in the replica
+// partition and registers the replica in the catalog. Failures (partition
+// full, concurrent duplicate) are expected outcomes, not errors.
+func (n *Node) cachePulled(id storage.DatasetID, bytes int64) {
+	n.repoMu.Lock()
+	err := n.repo.StoreReplica(id, bytes, n.now())
+	n.repoMu.Unlock()
+	if err != nil {
+		return
+	}
+	if err := n.catalog.AddReplica(id, n.cfg.Node, n.now()); err != nil {
+		// Catalog refused (e.g. racing fetch already registered us):
+		// drop the local copy so repository and catalog stay consistent.
+		n.repoMu.Lock()
+		_ = n.repo.DropReplica(id)
+		n.repoMu.Unlock()
+	}
+}
