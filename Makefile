@@ -1,19 +1,23 @@
 # Verify targets for the scdn repository.
 #
-#   make check   — the full gate: build, vet, unit tests, and the -race
+#   make check   — the full gate: build, vet, unit tests, the -race
 #                  pass over the concurrent packages (metrics + the live
-#                  serving plane), so concurrency regressions fail fast.
+#                  serving plane + striped fetch), and a 1-iteration
+#                  benchmark smoke so the bench harness cannot rot.
 #   make test    — tier-1 only (what CI has always run).
 #   make race    — just the -race pass.
-#   make bench   — the reproduction benchmark harness.
+#   make bench   — the benchmark harness: delivery-plane micro-benchmarks
+#                  (catalog resolve, payload block cache, range writes) at
+#                  GOMAXPROCS=4, the reproduction benchmarks, and a short
+#                  striped loadgen pass writing BENCH_delivery.json.
 #   make loadgen — end-to-end networked benchmark: closed-loop load
 #                  against a 3-node in-process edge cluster over TCP.
 
 GO ?= go
 
-.PHONY: check test race vet bench loadgen
+.PHONY: check test race vet bench benchsmoke loadgen
 
-check: vet test race
+check: vet test race benchsmoke
 
 test:
 	$(GO) build ./...
@@ -23,10 +27,14 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/metrics ./internal/server
+	$(GO) test -race ./internal/metrics ./internal/server ./internal/stripe
 
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -cpu 4 ./...
+	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -bench-out BENCH_delivery.json
+
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/server
 
 loadgen:
 	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 600

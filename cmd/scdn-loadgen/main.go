@@ -3,15 +3,19 @@
 // cluster on loopback TCP and hammers it; with -targets it drives an
 // already-running cluster (e.g. one started by scdn-serve). Each worker
 // logs in over the wire, then loops: optionally resolve, fetch a
-// dataset, verify the payload stream byte-for-byte, and record latency.
-// At the end it reports throughput and latency percentiles and
-// reconciles its own totals against the cluster's /metrics expositions,
-// exiting non-zero on any failed request or accounting mismatch.
+// dataset — either whole or as -stripes concurrent range requests spread
+// across replica holders (GridFTP-style) — verify the payload in-stream
+// with constant memory, and record latency. At the end it reports
+// throughput and latency percentiles, reconciles its own totals against
+// the cluster's /metrics expositions, optionally writes a
+// machine-readable benchmark record (-bench-out), and exits non-zero on
+// any failed request or accounting mismatch.
 //
 // Usage:
 //
 //	scdn-loadgen                                   # 3-node cluster, 8 workers, 600 requests
 //	scdn-loadgen -nodes 5 -workers 32 -requests 10000 -pull-through
+//	scdn-loadgen -stripes 4                        # parallel striped range fetches
 //	scdn-loadgen -targets http://127.0.0.1:8001,http://127.0.0.1:8002 -datasets 12
 package main
 
@@ -34,6 +38,7 @@ import (
 
 	"scdn/internal/server"
 	"scdn/internal/storage"
+	"scdn/internal/stripe"
 )
 
 func main() {
@@ -44,10 +49,12 @@ func main() {
 		requests    = flag.Int("requests", 600, "total fetch requests")
 		datasets    = flag.Int("datasets", 12, "datasets (published in-process, or assumed ds-001.. on -targets)")
 		bytesPer    = flag.Int64("bytes", 64<<10, "bytes per dataset")
-		resolveEach = flag.Int("resolve-every", 5, "issue a resolve before every Nth fetch (0 disables)")
+		resolveEach = flag.Int("resolve-every", 5, "issue a resolve before every Nth fetch (0 disables; ignored with -stripes > 1)")
+		stripesN    = flag.Int("stripes", 1, "fetch each dataset as N parallel range requests across replica holders")
 		seed        = flag.Int64("seed", 42, "workload seed")
 		pullThrough = flag.Bool("pull-through", true, "enable pull-through caching (in-process mode)")
-		verify      = flag.Bool("verify", true, "verify every payload byte-for-byte")
+		verify      = flag.Bool("verify", true, "verify every payload in-stream, byte-for-byte")
+		benchOut    = flag.String("bench-out", "BENCH_delivery.json", "write a machine-readable benchmark record here (empty disables)")
 	)
 	flag.Parse()
 
@@ -85,6 +92,15 @@ func main() {
 			userIDs = append(userIDs, int64(101+u))
 		}
 	}
+	if *stripesN < 1 {
+		*stripesN = 1
+	}
+	// Every logical request turns into this many client-facing HTTP
+	// fetches (stripes are clipped to the dataset size).
+	fetchesPerRequest := int64(*stripesN)
+	if fetchesPerRequest > *bytesPer {
+		fetchesPerRequest = *bytesPer
+	}
 
 	before := scrapeAll(urls)
 
@@ -101,7 +117,11 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			client := &http.Client{Timeout: 30 * time.Second}
+			client := &http.Client{
+				Timeout: 30 * time.Second,
+				// Striped fetches keep several connections per edge warm.
+				Transport: &http.Transport{MaxIdleConnsPerHost: 4 * *stripesN},
+			}
 			user := userIDs[w%len(userIDs)]
 			tok, err := loginHTTP(client, urls[w%len(urls)], user)
 			if err != nil {
@@ -117,22 +137,40 @@ func main() {
 				}
 				ds := datasetIDs[rng.Intn(len(datasetIDs))]
 				base := urls[rng.Intn(len(urls))]
-				if *resolveEach > 0 && i%int64(*resolveEach) == 0 {
-					if err := resolveHTTP(client, base, tok, string(ds)); err != nil {
-						fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, err)
+				var n int64
+				if *stripesN > 1 {
+					// Striped mode resolves first: the response's replica
+					// list names the holders the stripes fan out across.
+					issued.Add(1)
+					t0 := time.Now()
+					res, rerr := resolveHTTP(client, base, tok, string(ds))
+					if rerr != nil {
+						lat.Observe(time.Since(t0).Seconds())
+						fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, rerr)
 						failed.Add(1)
 						continue
 					}
 					resolves.Add(1)
+					n, err = fetchStriped(client, res, urls, tok, ds, *bytesPer, *stripesN, *verify)
+					lat.Observe(time.Since(t0).Seconds())
+				} else {
+					if *resolveEach > 0 && i%int64(*resolveEach) == 0 {
+						if _, err := resolveHTTP(client, base, tok, string(ds)); err != nil {
+							fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, err)
+							failed.Add(1)
+							continue
+						}
+						resolves.Add(1)
+					}
+					issued.Add(1)
+					t0 := time.Now()
+					n, err = fetchHTTP(client, base, tok, ds, *bytesPer, *verify)
+					lat.Observe(time.Since(t0).Seconds())
 				}
-				issued.Add(1)
-				t0 := time.Now()
-				n, err := fetchHTTP(client, base, tok, ds, *bytesPer, *verify)
-				lat.Observe(time.Since(t0).Seconds())
 				bytesRead.Add(n)
 				accesses++
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "scdn-loadgen: fetch %s from %s: %v\n", ds, base, err)
+					fmt.Fprintf(os.Stderr, "scdn-loadgen: fetch %s: %v\n", ds, err)
 					failed.Add(1)
 				}
 			}
@@ -149,32 +187,41 @@ func main() {
 
 	s := lat.Summary()
 	mb := float64(bytesRead.Load()) / (1 << 20)
-	fmt.Printf("\n%d workers × closed loop over %d edges: %d requests (%d resolves) in %.2fs\n",
-		*workers, len(urls), issued.Load(), resolves.Load(), elapsed.Seconds())
+	fmt.Printf("\n%d workers × closed loop over %d edges: %d requests (%d resolves, %d stripes/request) in %.2fs\n",
+		*workers, len(urls), issued.Load(), resolves.Load(), fetchesPerRequest, elapsed.Seconds())
 	fmt.Printf("throughput: %.1f req/s, %.1f MB/s (%.1f MB served)\n",
 		float64(issued.Load())/elapsed.Seconds(), mb/elapsed.Seconds(), mb)
 	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f\n",
 		s.Mean*1000, s.P50*1000, s.P95*1000, s.P99*1000)
 	fmt.Printf("failed requests: %d\n", failed.Load())
 
-	fmt.Printf("cluster delta: fetch=%d failures=%d local=%d peer=%d origin=%d retries=%d latency-samples=%d\n",
+	cacheHits := delta["scdn_payload_cache_hits_total"]
+	cacheMisses := delta["scdn_payload_cache_misses_total"]
+	hitRate := 0.0
+	if cacheHits+cacheMisses > 0 {
+		hitRate = float64(cacheHits) / float64(cacheHits+cacheMisses)
+	}
+	fmt.Printf("cluster delta: fetch=%d failures=%d local=%d peer=%d origin=%d retries=%d ranges=%d latency-samples=%d\n",
 		delta["scdn_fetch_requests_total"], delta["scdn_fetch_failures_total"],
 		delta["scdn_local_hits_total"], delta["scdn_peer_hits_total"],
 		delta["scdn_origin_fetches_total"], delta["scdn_peer_retries_total"],
-		delta["scdn_fetch_latency_seconds_count"])
+		delta["scdn_range_requests_total"], delta["scdn_fetch_latency_seconds_count"])
+	fmt.Printf("payload-block cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		cacheHits, cacheMisses, hitRate*100)
 
+	wantFetches := issued.Load() * uint64(fetchesPerRequest)
 	ok := true
 	if failed.Load() != 0 {
 		ok = false
 	}
-	if delta["scdn_fetch_requests_total"] != issued.Load() {
-		fmt.Printf("metrics mismatch: cluster saw %d fetches, loadgen issued %d\n",
-			delta["scdn_fetch_requests_total"], issued.Load())
+	if delta["scdn_fetch_requests_total"] != wantFetches {
+		fmt.Printf("metrics mismatch: cluster saw %d fetches, loadgen issued %d (%d × %d stripes)\n",
+			delta["scdn_fetch_requests_total"], wantFetches, issued.Load(), fetchesPerRequest)
 		ok = false
 	}
-	if delta["scdn_fetch_latency_seconds_count"] != issued.Load() {
+	if delta["scdn_fetch_latency_seconds_count"] != wantFetches {
 		fmt.Printf("metrics mismatch: cluster recorded %d latency samples, want %d\n",
-			delta["scdn_fetch_latency_seconds_count"], issued.Load())
+			delta["scdn_fetch_latency_seconds_count"], wantFetches)
 		ok = false
 	}
 	if delta["scdn_fetch_failures_total"] != 0 {
@@ -182,11 +229,69 @@ func main() {
 			delta["scdn_fetch_failures_total"])
 		ok = false
 	}
+	if *benchOut != "" {
+		if err := writeBenchRecord(*benchOut, benchRecord{
+			Workers: *workers, Requests: int(issued.Load()), Stripes: int(fetchesPerRequest),
+			Edges: len(urls), Datasets: *datasets, BytesPerDataset: *bytesPer,
+			ElapsedSeconds: elapsed.Seconds(),
+			ThroughputRPS:  float64(issued.Load()) / elapsed.Seconds(),
+			ThroughputMBps: mb / elapsed.Seconds(),
+			LatencyMS: latencyMS{Mean: s.Mean * 1000, P50: s.P50 * 1000,
+				P95: s.P95 * 1000, P99: s.P99 * 1000},
+			Failed:        failed.Load(),
+			CacheHits:     cacheHits,
+			CacheMisses:   cacheMisses,
+			CacheHitRate:  hitRate,
+			RangeRequests: delta["scdn_range_requests_total"],
+			Reconciled:    ok,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "scdn-loadgen: bench-out: %v\n", err)
+			ok = false
+		} else {
+			fmt.Printf("benchmark record: %s\n", *benchOut)
+		}
+	}
 	if ok {
 		fmt.Println("metrics reconciliation: OK")
 	} else {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is the machine-readable BENCH_delivery.json schema: the
+// delivery plane's perf trajectory across PRs.
+type benchRecord struct {
+	Workers         int       `json:"workers"`
+	Requests        int       `json:"requests"`
+	Stripes         int       `json:"stripes"`
+	Edges           int       `json:"edges"`
+	Datasets        int       `json:"datasets"`
+	BytesPerDataset int64     `json:"bytes_per_dataset"`
+	ElapsedSeconds  float64   `json:"elapsed_seconds"`
+	ThroughputRPS   float64   `json:"throughput_rps"`
+	ThroughputMBps  float64   `json:"throughput_mbps"`
+	LatencyMS       latencyMS `json:"latency_ms"`
+	Failed          uint64    `json:"failed"`
+	CacheHits       uint64    `json:"payload_cache_hits"`
+	CacheMisses     uint64    `json:"payload_cache_misses"`
+	CacheHitRate    float64   `json:"payload_cache_hit_rate"`
+	RangeRequests   uint64    `json:"range_requests"`
+	Reconciled      bool      `json:"reconciled"`
+}
+
+type latencyMS struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+func writeBenchRecord(path string, rec benchRecord) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func loginHTTP(client *http.Client, base string, user int64) (string, error) {
@@ -206,25 +311,27 @@ func loginHTTP(client *http.Client, base string, user int64) (string, error) {
 	return lr.Token, nil
 }
 
-func resolveHTTP(client *http.Client, base, tok, dataset string) error {
+func resolveHTTP(client *http.Client, base, tok, dataset string) (server.ResolveResponse, error) {
+	var rr server.ResolveResponse
 	body, _ := json.Marshal(server.ResolveRequest{Dataset: dataset})
 	req, err := http.NewRequest(http.MethodPost, base+"/v1/resolve", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return rr, err
 	}
 	req.Header.Set("Authorization", "Bearer "+tok)
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return rr, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("resolve status %s", resp.Status)
+		return rr, fmt.Errorf("resolve status %s", resp.Status)
 	}
-	var rr server.ResolveResponse
-	return json.NewDecoder(resp.Body).Decode(&rr)
+	return rr, json.NewDecoder(resp.Body).Decode(&rr)
 }
 
+// fetchHTTP fetches a whole dataset, verifying the stream incrementally
+// (constant memory) when verify is set.
 func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
 	wantBytes int64, verify bool) (int64, error) {
 	req, err := http.NewRequest(http.MethodGet, base+"/v1/fetch/"+string(ds), nil)
@@ -244,6 +351,40 @@ func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
 		return server.VerifyPayload(resp.Body, ds, wantBytes)
 	}
 	return io.Copy(io.Discard, resp.Body)
+}
+
+// fetchStriped fans the dataset out as parallel range requests across the
+// resolved replica holders (falling back to the whole edge set when the
+// holders expose fewer endpoints than stripes need).
+func fetchStriped(client *http.Client, res server.ResolveResponse, allURLs []string,
+	tok string, ds storage.DatasetID, wantBytes int64, stripes int, verify bool) (int64, error) {
+	var endpoints []string
+	for _, rep := range res.Replicas {
+		if rep.URL != "" {
+			endpoints = append(endpoints, rep.URL)
+		}
+	}
+	if len(endpoints) < stripes {
+		for _, u := range allURLs {
+			if !contains(endpoints, u) {
+				endpoints = append(endpoints, u)
+			}
+		}
+	}
+	r, err := stripe.Fetch(context.Background(), stripe.Options{
+		Client: client, Endpoints: endpoints, Token: tok,
+		Stripes: stripes, Verify: verify,
+	}, ds, wantBytes)
+	return r.Bytes, err
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 func reportHTTP(client *http.Client, base, tok string, user int64, accesses uint64) error {

@@ -41,6 +41,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "auth token seed")
 		pullThrough = flag.Bool("pull-through", false, "cache proxied datasets as local replicas")
 		group       = flag.String("group", "live-collab", "collaboration group scoping all datasets")
+		shards      = flag.Int("catalog-shards", 0, "catalog lock shards, rounded to a power of two (0: default)")
+		blockCache  = flag.Int("block-cache", 0, "payload-block cache capacity per edge, in blocks (0: default)")
 	)
 	flag.Parse()
 
@@ -48,7 +50,7 @@ func main() {
 		Nodes: *nodes, Sites: *sites, CatalogServers: *catalog,
 		Users: *users, Datasets: *datasets, DatasetBytes: *bytes,
 		Seed: *seed, PullThrough: *pullThrough, Group: *group,
-		ListenHost: *host,
+		ListenHost: *host, CatalogShards: *shards, BlockCacheBlocks: *blockCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scdn-serve:", err)

@@ -2,6 +2,7 @@ package allocation
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scdn/internal/storage"
@@ -12,10 +13,16 @@ import (
 // live members so lookup load is shared. Trusted third parties (national
 // labs, universities) host these servers in the paper's design; the
 // cluster survives individual server outages as long as one member is up.
+//
+// The round-robin cursor is atomic so that callers who guard mutations
+// with an exclusive lock (the serving plane's sharded catalog) can run
+// pure reads — Replicas, DatasetBytes, Origin, Datasets, ReplicaCount —
+// under a shared lock without racing on cursor advancement. Everything
+// else remains single-writer.
 type Cluster struct {
 	servers []*Server
 	down    map[int]bool
-	next    int // round-robin cursor
+	cursor  atomic.Uint64 // round-robin read cursor
 }
 
 // NewCluster builds n servers over the directory. n must be >= 1.
@@ -77,10 +84,10 @@ func cloneCatalog(in map[storage.DatasetID]*entry) map[storage.DatasetID]*entry 
 
 // live returns a live server for reads, advancing the round-robin cursor.
 func (c *Cluster) live() (*Server, error) {
+	start := int((c.cursor.Add(1) - 1) % uint64(len(c.servers)))
 	for i := 0; i < len(c.servers); i++ {
-		idx := (c.next + i) % len(c.servers)
+		idx := (start + i) % len(c.servers)
 		if !c.down[idx] {
-			c.next = (idx + 1) % len(c.servers)
 			return c.servers[idx], nil
 		}
 	}

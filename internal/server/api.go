@@ -8,6 +8,11 @@ package server
 //	POST /v1/report   ReportRequest → 204                (Bearer token)
 //	GET  /metrics     → text exposition
 //	GET  /healthz     → "ok"
+//
+// Fetch honors single-part HTTP range requests (Range: bytes=a-b, a-,
+// -k) with 206 + Content-Range; full responses advertise
+// Accept-Ranges: bytes. Malformed or unsatisfiable ranges are answered
+// with 416, never with a silent full body.
 
 // peerHeader marks a fetch as an edge-to-edge hop: the receiving node
 // serves only from its local repository and never fans out again, which
@@ -33,14 +38,25 @@ type ResolveRequest struct {
 }
 
 // ResolveResponse names the selected replica holder. URL is empty when
-// the holder contributes storage but no HTTP endpoint.
+// the holder contributes storage but no HTTP endpoint. Replicas lists
+// every online holder so striped clients can fan range fetches out across
+// them (the GridFTP-style parallel transfer of Section V-A).
 type ResolveResponse struct {
-	Dataset string `json:"dataset"`
-	Node    int64  `json:"node"`
-	Site    int    `json:"site"`
-	URL     string `json:"url,omitempty"`
-	Origin  bool   `json:"origin"`
-	Bytes   int64  `json:"bytes"`
+	Dataset  string        `json:"dataset"`
+	Node     int64         `json:"node"`
+	Site     int           `json:"site"`
+	URL      string        `json:"url,omitempty"`
+	Origin   bool          `json:"origin"`
+	Bytes    int64         `json:"bytes"`
+	Replicas []ReplicaInfo `json:"replicas,omitempty"`
+}
+
+// ReplicaInfo is one online replica holder in a ResolveResponse.
+type ReplicaInfo struct {
+	Node   int64  `json:"node"`
+	Site   int    `json:"site"`
+	URL    string `json:"url,omitempty"`
+	Origin bool   `json:"origin"`
 }
 
 // ReportRequest delivers client-side usage statistics (Section V-A: the

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"scdn/internal/storage"
+)
+
+// DefaultBlockCacheBlocks is the block-cache capacity NewNode uses when
+// the config leaves it zero: 1024 cached repetition blocks (4 MiB), far
+// more datasets than a single edge typically serves.
+const DefaultBlockCacheBlocks = 1024
+
+// BlockCache memoizes payload repetition blocks so the SHA-256 chain that
+// derives a dataset's bytes is paid once per dataset instead of once per
+// request. It is an LRU over immutable blocks with single-flight misses:
+// concurrent first requests for the same dataset compute the block once
+// and the rest wait for it, so a thundering herd on a cold dataset does
+// not burn a core per connection.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[storage.DatasetID]*list.Element
+	inflight map[storage.DatasetID]*inflightBlock
+}
+
+type cacheEntry struct {
+	id    storage.DatasetID
+	block []byte
+}
+
+type inflightBlock struct {
+	wg    sync.WaitGroup
+	block []byte
+}
+
+// NewBlockCache returns a cache holding up to capacity blocks
+// (DefaultBlockCacheBlocks if capacity <= 0).
+func NewBlockCache(capacity int) *BlockCache {
+	if capacity <= 0 {
+		capacity = DefaultBlockCacheBlocks
+	}
+	return &BlockCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[storage.DatasetID]*list.Element),
+		inflight: make(map[storage.DatasetID]*inflightBlock),
+	}
+}
+
+// Block returns the dataset's repetition block and whether it was served
+// from cache. Callers must treat the block as read-only — it is shared.
+// A caller that joins another goroutine's in-flight computation counts as
+// a hit: it did not pay the hash cost.
+func (c *BlockCache) Block(id storage.DatasetID) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		block := el.Value.(*cacheEntry).block
+		c.mu.Unlock()
+		return block, true
+	}
+	if fl, ok := c.inflight[id]; ok {
+		c.mu.Unlock()
+		fl.wg.Wait()
+		return fl.block, true
+	}
+	fl := &inflightBlock{}
+	fl.wg.Add(1)
+	c.inflight[id] = fl
+	c.mu.Unlock()
+
+	fl.block = payloadBlock(id)
+
+	c.mu.Lock()
+	delete(c.inflight, id)
+	// A concurrent eviction cycle cannot have inserted id (inserts only
+	// happen here, and id was held in inflight), so insert unconditionally.
+	el := c.ll.PushFront(&cacheEntry{id: id, block: fl.block})
+	c.items[id] = el
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).id)
+	}
+	c.mu.Unlock()
+	fl.wg.Done()
+	return fl.block, false
+}
+
+// Len returns the number of cached blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

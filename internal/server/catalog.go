@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -8,93 +10,171 @@ import (
 	"scdn/internal/storage"
 )
 
-// Catalog is the serving plane's view of the allocation-server cluster.
-// The allocation package is deliberately single-threaded (the simulator
-// owns its own event loop); here every HTTP request may touch the catalog
-// concurrently, so one mutex serializes access. Resolution is cheap
-// (sorted scan over a replica set), so a single lock is not the
-// bottleneck — the network is.
-type Catalog struct {
-	mu      sync.Mutex
+// DefaultCatalogShards is the shard count NewCatalog uses. Sixteen shards
+// keep contention negligible well past typical core counts while the
+// per-shard memory overhead (one small allocation cluster each) stays
+// trivial.
+const DefaultCatalogShards = 16
+
+// catalogShard is one lock domain of the catalog: a full allocation
+// cluster owning the datasets that hash into this shard. Resolve mutates
+// demand counters and lookup statistics inside the allocation package, so
+// it takes the write lock; the pure reads (Replicas, DatasetBytes,
+// Origin, Datasets, ReplicaCount, Stats) share an RLock — the allocation
+// cluster's round-robin read cursor is atomic precisely so these can
+// overlap.
+type catalogShard struct {
+	mu      sync.RWMutex
 	cluster *allocation.Cluster
 }
 
-// NewCatalog builds a locked catalog over n allocation servers sharing
-// the registry as their directory.
+// Catalog is the serving plane's view of the allocation-server cluster.
+// The allocation package is deliberately single-threaded (the simulator
+// owns its own event loop); here every HTTP request may touch the catalog
+// concurrently. Datasets are spread across power-of-two shards by an
+// FNV-1a hash of the dataset ID, so resolves and fetches of distinct
+// datasets never contend on a lock — the catalog scales with cores
+// instead of serializing the whole delivery plane behind one mutex.
+type Catalog struct {
+	shards []*catalogShard
+	mask   uint32
+}
+
+// NewCatalog builds a sharded catalog over n allocation servers per
+// shard, sharing the registry as their directory, with
+// DefaultCatalogShards shards.
 func NewCatalog(n int, dir allocation.Directory) (*Catalog, error) {
-	cl, err := allocation.NewCluster(n, dir)
-	if err != nil {
-		return nil, err
+	return NewCatalogSharded(n, dir, DefaultCatalogShards)
+}
+
+// NewCatalogSharded builds a catalog with an explicit shard count, which
+// is rounded up to the next power of two (minimum 1) so shard selection
+// is a mask, not a modulo.
+func NewCatalogSharded(n int, dir allocation.Directory, shards int) (*Catalog, error) {
+	if shards < 1 {
+		shards = 1
 	}
-	return &Catalog{cluster: cl}, nil
+	pow2 := 1
+	for pow2 < shards {
+		pow2 <<= 1
+	}
+	c := &Catalog{mask: uint32(pow2 - 1)}
+	for i := 0; i < pow2; i++ {
+		cl, err := allocation.NewCluster(n, dir)
+		if err != nil {
+			return nil, fmt.Errorf("server: catalog shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, &catalogShard{cluster: cl})
+	}
+	return c, nil
+}
+
+// ShardCount returns the catalog's shard count.
+func (c *Catalog) ShardCount() int { return len(c.shards) }
+
+// shard picks a dataset's lock domain by FNV-1a hash. The hash is
+// inlined rather than built on hash/fnv so the hot path performs no
+// allocation and no interface dispatch.
+func (c *Catalog) shard(id storage.DatasetID) *catalogShard {
+	h := uint32(2166136261) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619 // FNV prime
+	}
+	return c.shards[h&c.mask]
 }
 
 // RegisterDataset catalogs a dataset with its origin node and size.
 func (c *Catalog) RegisterDataset(id storage.DatasetID, origin allocation.NodeID, bytes int64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.RegisterDataset(id, origin, bytes)
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster.RegisterDataset(id, origin, bytes)
 }
 
 // AddReplica records a new replica holder.
 func (c *Catalog) AddReplica(id storage.DatasetID, node allocation.NodeID, at time.Duration) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.AddReplica(id, node, at)
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster.AddReplica(id, node, at)
 }
 
 // RemoveReplica deletes a replica record.
 func (c *Catalog) RemoveReplica(id storage.DatasetID, node allocation.NodeID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.RemoveReplica(id, node)
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster.RemoveReplica(id, node)
 }
 
-// Resolve picks the best online replica for a requester.
+// Resolve picks the best online replica for a requester. It takes the
+// shard's write lock: resolution records demand on every cluster member.
 func (c *Catalog) Resolve(id storage.DatasetID, requester allocation.NodeID) (allocation.Replica, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.Resolve(id, requester)
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster.Resolve(id, requester)
 }
 
 // Replicas lists a dataset's replica holders.
 func (c *Catalog) Replicas(id storage.DatasetID) ([]allocation.Replica, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.Replicas(id)
+	s := c.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cluster.Replicas(id)
 }
 
 // DatasetBytes returns a dataset's size.
 func (c *Catalog) DatasetBytes(id storage.DatasetID) (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.DatasetBytes(id)
+	s := c.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cluster.DatasetBytes(id)
 }
 
 // Origin returns a dataset's origin node.
 func (c *Catalog) Origin(id storage.DatasetID) (allocation.NodeID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.Origin(id)
+	s := c.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cluster.Origin(id)
 }
 
-// Datasets lists all catalogued dataset IDs.
+// Datasets lists all catalogued dataset IDs, merged across shards and
+// sorted ascending.
 func (c *Catalog) Datasets() ([]storage.DatasetID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.Datasets()
+	var out []storage.DatasetID
+	for _, s := range c.shards {
+		s.mu.RLock()
+		ids, err := s.cluster.Datasets()
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
 }
 
 // ReplicaCount returns a dataset's replica count.
 func (c *Catalog) ReplicaCount(id storage.DatasetID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.ReplicaCount(id)
+	s := c.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cluster.ReplicaCount(id)
 }
 
-// Stats aggregates lookup statistics across the cluster's members.
+// Stats aggregates lookup statistics across every shard's members.
 func (c *Catalog) Stats() (lookups, resolved, unresolved uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cluster.Stats()
+	for _, s := range c.shards {
+		s.mu.RLock()
+		l, r, u := s.cluster.Stats()
+		s.mu.RUnlock()
+		lookups += l
+		resolved += r
+		unresolved += u
+	}
+	return
 }

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scdn/internal/allocation"
+	"scdn/internal/storage"
+)
+
+// catalogFixture builds a sharded catalog over a registry with members
+// nodes 1..members (all online, sites 0..members-1) and datasets
+// ds-000..ds-(datasets-1) owned round-robin.
+func catalogFixture(t testing.TB, members, servers, shards, datasets int) (*Catalog, []storage.DatasetID) {
+	t.Helper()
+	reg := NewRegistry()
+	for i := 0; i < members; i++ {
+		reg.Register(Member{Node: allocation.NodeID(i + 1), Site: i, Online: true})
+	}
+	cat, err := NewCatalogSharded(servers, reg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []storage.DatasetID
+	for d := 0; d < datasets; d++ {
+		id := storage.DatasetID(fmt.Sprintf("ds-%03d", d))
+		origin := allocation.NodeID(d%members + 1)
+		if err := cat.RegisterDataset(id, origin, 1024); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return cat, ids
+}
+
+func TestCatalogShardCountRounding(t *testing.T) {
+	reg := NewRegistry()
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		cat, err := NewCatalogSharded(1, reg, tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cat.ShardCount(); got != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	cat, err := NewCatalog(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.ShardCount() != DefaultCatalogShards {
+		t.Fatalf("default shards = %d", cat.ShardCount())
+	}
+}
+
+func TestCatalogShardedSemantics(t *testing.T) {
+	cat, ids := catalogFixture(t, 4, 2, 8, 40)
+
+	// Every dataset resolves regardless of which shard it hashed into.
+	for _, id := range ids {
+		rep, ok, err := cat.Resolve(id, 2)
+		if err != nil || !ok {
+			t.Fatalf("resolve %s = %v ok=%v", id, err, ok)
+		}
+		origin, err := cat.Origin(id)
+		if err != nil || rep.Node != origin {
+			t.Fatalf("resolve %s → node %d, origin %d (err %v)", id, rep.Node, origin, err)
+		}
+		if n, err := cat.DatasetBytes(id); err != nil || n != 1024 {
+			t.Fatalf("bytes %s = %d, %v", id, n, err)
+		}
+	}
+
+	// Datasets merges across shards, sorted, complete.
+	all, err := cat.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Fatalf("datasets = %d, want %d", len(all), len(ids))
+	}
+	for i, id := range all {
+		if id != ids[i] {
+			t.Fatalf("datasets[%d] = %s, want %s (merged order broken)", i, id, ids[i])
+		}
+	}
+
+	// Stats aggregates lookups across shards: one per resolve above.
+	lookups, resolved, _ := cat.Stats()
+	if lookups != uint64(len(ids)) || resolved != uint64(len(ids)) {
+		t.Fatalf("stats = %d/%d, want %d/%d", lookups, resolved, len(ids), len(ids))
+	}
+
+	// Replica bookkeeping routes to the owning shard.
+	if err := cat.AddReplica(ids[0], 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.ReplicaCount(ids[0]); got != 2 {
+		t.Fatalf("replica count = %d, want 2", got)
+	}
+	if err := cat.RemoveReplica(ids[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.ReplicaCount(ids[0]); got != 1 {
+		t.Fatalf("replica count after removal = %d, want 1", got)
+	}
+}
+
+// TestCatalogConcurrentAccess hammers overlapping datasets with resolves,
+// replica add/remove cycles, and read-side scans from many goroutines.
+// Run with -race (make race covers this package) — it is the regression
+// gate for the sharded catalog's locking.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 300
+	)
+	cat, ids := catalogFixture(t, 8, 2, 8, 12)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Writers get a node of their own so AddReplica dup errors stay
+			// deterministic per goroutine; all goroutines overlap on ids.
+			node := allocation.NodeID(g%8 + 1)
+			for i := 0; i < iters; i++ {
+				id := ids[(g+i)%len(ids)]
+				switch i % 5 {
+				case 0:
+					if _, _, err := cat.Resolve(id, node); err != nil {
+						t.Errorf("resolve: %v", err)
+						return
+					}
+				case 1:
+					// Add/remove may race with another goroutine using the
+					// same node: dup/missing errors are expected outcomes,
+					// only data races are failures.
+					_ = cat.AddReplica(id, node, 0)
+				case 2:
+					_ = cat.RemoveReplica(id, node)
+				case 3:
+					if _, err := cat.Replicas(id); err != nil {
+						t.Errorf("replicas: %v", err)
+						return
+					}
+					if _, err := cat.Origin(id); err != nil {
+						t.Errorf("origin: %v", err)
+						return
+					}
+					if _, err := cat.DatasetBytes(id); err != nil {
+						t.Errorf("bytes: %v", err)
+						return
+					}
+				case 4:
+					if _, err := cat.Datasets(); err != nil {
+						t.Errorf("datasets: %v", err)
+						return
+					}
+					cat.Stats()
+					cat.ReplicaCount(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The catalog must still be coherent: every dataset resolves and the
+	// origin replica survived every remove cycle.
+	for _, id := range ids {
+		if _, ok, err := cat.Resolve(id, 1); err != nil || !ok {
+			t.Fatalf("post-race resolve %s = ok=%v err=%v", id, ok, err)
+		}
+		if cat.ReplicaCount(id) < 1 {
+			t.Fatalf("dataset %s lost its origin replica", id)
+		}
+	}
+	lookups, _, _ := cat.Stats()
+	if lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+// TestCatalogConcurrentRegister checks racing registrations of disjoint
+// and duplicate datasets.
+func TestCatalogConcurrentRegister(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 4; i++ {
+		reg.Register(Member{Node: allocation.NodeID(i + 1), Site: i, Online: true})
+	}
+	cat, err := NewCatalogSharded(2, reg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	var dups sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for d := 0; d < n; d++ {
+				id := storage.DatasetID(fmt.Sprintf("reg-%03d", d))
+				if err := cat.RegisterDataset(id, allocation.NodeID(d%4+1), 64); err != nil {
+					dups.Store(fmt.Sprintf("%d/%s", g, id), true) // expected for losers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	all, err := cat.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("registered %d datasets, want %d", len(all), n)
+	}
+}

@@ -22,6 +22,12 @@ type ClusterConfig struct {
 	Sites int
 	// CatalogServers is the allocation-cluster membership (default 2).
 	CatalogServers int
+	// CatalogShards is the catalog's lock-shard count, rounded up to a
+	// power of two (default DefaultCatalogShards).
+	CatalogShards int
+	// BlockCacheBlocks caps each edge's payload-block cache (default
+	// DefaultBlockCacheBlocks).
+	BlockCacheBlocks int
 	// Users is the number of client-only participants (default 8).
 	Users int
 	// Datasets is the number of published datasets (default 12) of
@@ -55,6 +61,9 @@ func (c *ClusterConfig) applyDefaults() {
 	}
 	if c.CatalogServers <= 0 {
 		c.CatalogServers = 2
+	}
+	if c.CatalogShards <= 0 {
+		c.CatalogShards = DefaultCatalogShards
 	}
 	if c.Users <= 0 {
 		c.Users = 8
@@ -105,7 +114,7 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 	clock := func() time.Duration { return time.Since(start) }
 	mw := middleware.New(platform, clock)
 	reg := NewRegistry()
-	catalog, err := NewCatalog(cfg.CatalogServers, reg)
+	catalog, err := NewCatalogSharded(cfg.CatalogServers, reg, cfg.CatalogShards)
 	if err != nil {
 		return nil, err
 	}
@@ -135,11 +144,12 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 		}
 		repos[i] = repo
 		node, err := NewNode(Config{
-			Node:          nodeID,
-			ListenAddr:    cfg.ListenHost + ":0",
-			PullThrough:   cfg.PullThrough,
-			FetchAttempts: cfg.FetchAttempts,
-			Clock:         clock,
+			Node:             nodeID,
+			ListenAddr:       cfg.ListenHost + ":0",
+			PullThrough:      cfg.PullThrough,
+			FetchAttempts:    cfg.FetchAttempts,
+			BlockCacheBlocks: cfg.BlockCacheBlocks,
+			Clock:            clock,
 		}, repo, mw, catalog, reg)
 		if err != nil {
 			return nil, err

@@ -110,13 +110,28 @@ func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	peerURL, _ := n.registry.BaseURL(rep.Node)
+	// List every online holder with an endpoint so striped clients can
+	// spread range fetches across replica holders (GridFTP-style).
+	var holders []ReplicaInfo
+	if all, err := n.catalog.Replicas(id); err == nil {
+		for _, hr := range all {
+			if !n.registry.Online(hr.Node) {
+				continue
+			}
+			hu, _ := n.registry.BaseURL(hr.Node)
+			holders = append(holders, ReplicaInfo{
+				Node: hr.Node, Site: hr.Site, URL: hu, Origin: hr.Node == origin,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, ResolveResponse{
-		Dataset: req.Dataset,
-		Node:    rep.Node,
-		Site:    rep.Site,
-		URL:     peerURL,
-		Origin:  rep.Node == origin,
-		Bytes:   bytes,
+		Dataset:  req.Dataset,
+		Node:     rep.Node,
+		Site:     rep.Site,
+		URL:      peerURL,
+		Origin:   rep.Node == origin,
+		Bytes:    bytes,
+		Replicas: holders,
 	})
 }
 
@@ -158,33 +173,62 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bytes, berr := n.catalog.DatasetBytes(id)
-	if n.hasLocal(id) {
-		if berr != nil {
+	local := n.hasLocal(id)
+	if berr != nil {
+		if local {
 			fail(http.StatusInternalServerError, berr)
-			return
+		} else if fromPeer {
+			// Peer hops never fan out again: a fallback chain is one hop.
+			fail(http.StatusNotFound, fmt.Errorf("server: node %d does not hold %q", n.cfg.Node, id))
+		} else {
+			fail(http.StatusNotFound, berr)
 		}
-		n.serveLocal(w, id, bytes)
+		return
+	}
+	// Parse the range before deciding how to serve: malformed or
+	// unsatisfiable ranges are rejected here with 416 — never silently
+	// answered with the full body — and never forwarded to a peer.
+	rng, isRange, rerr := parseRange(r.Header.Get("Range"), bytes)
+	if rerr != nil {
+		n.Metrics.RangeNotSatisfiable.Inc()
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", bytes))
+		fail(http.StatusRequestedRangeNotSatisfiable, rerr)
+		return
+	}
+	if local {
+		n.serveLocal(w, id, rng, isRange, bytes)
 		return
 	}
 	if fromPeer {
-		// Peer hops never fan out again: a fallback chain is one hop.
 		fail(http.StatusNotFound, fmt.Errorf("server: node %d does not hold %q", n.cfg.Node, id))
 		return
 	}
-	if berr != nil {
-		fail(http.StatusNotFound, berr)
-		return
-	}
-	n.proxyFetch(w, r, id, bytes, fail)
+	n.proxyFetch(w, r, id, rng, isRange, bytes, fail)
 }
 
-// serveLocal streams the dataset from this edge's repository.
-func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID, bytes int64) {
+// serveLocal streams the dataset (or the requested byte range of it) from
+// this edge's repository, deriving bytes from the node's payload-block
+// cache so the SHA-256 chain is paid once per dataset, not per request.
+func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID,
+	rng byteRange, isRange bool, total int64) {
+	block, hit := n.blocks.Block(id)
+	if hit {
+		n.Metrics.PayloadCacheHits.Inc()
+	} else {
+		n.Metrics.PayloadCacheMisses.Inc()
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", fmt.Sprint(bytes))
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", fmt.Sprint(rng.n))
 	w.Header().Set("X-SCDN-Source", fmt.Sprint(n.cfg.Node))
-	w.WriteHeader(http.StatusOK)
-	written, _ := WritePayload(w, id, bytes)
+	status := http.StatusOK
+	if isRange {
+		n.Metrics.RangeRequests.Inc()
+		w.Header().Set("Content-Range", rng.contentRange(total))
+		status = http.StatusPartialContent
+	}
+	w.WriteHeader(status)
+	written, _ := writeBlockRange(w, block, rng.off, rng.n)
 	n.Metrics.LocalHits.Inc()
 	n.Metrics.BytesServed.Add(uint64(written))
 }
@@ -192,9 +236,10 @@ func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID, bytes int
 // proxyFetch realizes the edge fallback: resolve the dataset's replica
 // holders, order them by estimated RTT from this edge's site, and try
 // them with bounded retry and exponential backoff, streaming the first
-// successful response to the client.
+// successful response to the client. Range requests are forwarded to the
+// peer as ranges, so a proxied stripe moves only its own bytes.
 func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	bytes int64, fail func(int, error)) {
+	rng byteRange, isRange bool, total int64, fail func(int, error)) {
 	reps, err := n.catalog.Replicas(id)
 	if err != nil {
 		fail(http.StatusBadGateway, err)
@@ -227,7 +272,7 @@ func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.Dat
 			}
 		}
 		cand := cands[attempt%len(cands)]
-		committed, err := n.tryPeer(w, r, id, cand, bytes, origin)
+		committed, err := n.tryPeer(w, r, id, cand, rng, isRange, total, origin)
 		if committed {
 			return
 		}
@@ -268,7 +313,8 @@ func (n *Node) orderCandidates(reps []allocation.Replica) []allocation.Replica {
 // written (successfully or not) — once headers are on the wire there is
 // no retrying.
 func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	cand allocation.Replica, bytes int64, origin allocation.NodeID) (committed bool, _ error) {
+	cand allocation.Replica, rng byteRange, isRange bool, total int64,
+	origin allocation.NodeID) (committed bool, _ error) {
 	base, ok := n.registry.BaseURL(cand.Node)
 	if !ok {
 		return false, ErrNoEndpoint
@@ -280,23 +326,34 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	}
 	req.Header.Set(peerHeader, fmt.Sprint(n.cfg.Node))
 	req.Header.Set("Authorization", r.Header.Get("Authorization"))
+	wantStatus := http.StatusOK
+	if isRange {
+		req.Header.Set("Range", rng.header())
+		wantStatus = http.StatusPartialContent
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != wantStatus {
 		// Drain a bounded amount so the connection can be reused.
 		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
 		return false, fmt.Errorf("server: peer %d returned %s", cand.Node, resp.Status)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", fmt.Sprint(bytes))
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", fmt.Sprint(rng.n))
 	w.Header().Set("X-SCDN-Source", fmt.Sprint(cand.Node))
-	w.WriteHeader(http.StatusOK)
+	status := http.StatusOK
+	if isRange {
+		w.Header().Set("Content-Range", rng.contentRange(total))
+		status = http.StatusPartialContent
+	}
+	w.WriteHeader(status)
 	written, copyErr := io.Copy(w, resp.Body)
 	n.Metrics.BytesServed.Add(uint64(written))
-	if copyErr != nil || written != bytes {
+	if copyErr != nil || written != rng.n {
 		n.Metrics.FetchFailures.Inc()
 		return true, copyErr
 	}
@@ -305,8 +362,11 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	} else {
 		n.Metrics.PeerHits.Inc()
 	}
-	if n.cfg.PullThrough {
-		n.cachePulled(id, bytes)
+	// Pull-through only on full-body fetches: a stripe proves nothing
+	// about the rest of the dataset, so partial transfers never mint a
+	// replica record.
+	if n.cfg.PullThrough && !isRange {
+		n.cachePulled(id, total)
 	}
 	return true, nil
 }

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"scdn/internal/socialnet"
+)
+
+// rangeGet fetches a dataset with a Range header and returns the response
+// plus the fully-read body.
+func rangeGet(t *testing.T, client *http.Client, base, tok, id, rangeHeader string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/fetch/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	if rangeHeader != "" {
+		req.Header.Set("Range", rangeHeader)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestFetchFullResponseHeaders(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := string(login(t, lc))
+	resp, body := rangeGet(t, client, lc.Nodes[0].BaseURL(), tok, "ds-001", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full fetch = %s", resp.Status)
+	}
+	if got := resp.Header.Get("Accept-Ranges"); got != "bytes" {
+		t.Fatalf("Accept-Ranges = %q, want bytes", got)
+	}
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(lc.Config.DatasetBytes) {
+		t.Fatalf("Content-Length = %q, want %d", got, lc.Config.DatasetBytes)
+	}
+	if int64(len(body)) != lc.Config.DatasetBytes {
+		t.Fatalf("body = %d bytes", len(body))
+	}
+}
+
+func TestFetchRangeLocal(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := string(login(t, lc))
+	base := lc.Nodes[0].BaseURL()
+	total := lc.Config.DatasetBytes
+
+	var whole bytes.Buffer
+	if _, err := WritePayload(&whole, "ds-001", total); err != nil {
+		t.Fatal(err)
+	}
+	ref := whole.Bytes()
+
+	cases := []struct {
+		header string
+		off, n int64
+	}{
+		{"bytes=0-1023", 0, 1024},
+		{"bytes=5000-5000", 5000, 1},                                 // single mid-block byte
+		{fmt.Sprintf("bytes=%d-%d", total-1, total-1), total - 1, 1}, // last byte
+		{fmt.Sprintf("bytes=%d-", total-100), total - 100, 100},
+		{"bytes=-256", total - 256, 256},
+	}
+	for _, tc := range cases {
+		resp, body := rangeGet(t, client, base, tok, "ds-001", tc.header)
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("%s: status %s, want 206", tc.header, resp.Status)
+		}
+		wantCR := fmt.Sprintf("bytes %d-%d/%d", tc.off, tc.off+tc.n-1, total)
+		if got := resp.Header.Get("Content-Range"); got != wantCR {
+			t.Fatalf("%s: Content-Range = %q, want %q", tc.header, got, wantCR)
+		}
+		if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(tc.n) {
+			t.Fatalf("%s: Content-Length = %q, want %d", tc.header, got, tc.n)
+		}
+		if !bytes.Equal(body, ref[tc.off:tc.off+tc.n]) {
+			t.Fatalf("%s: body diverges from payload slice", tc.header)
+		}
+	}
+	if lc.Nodes[0].Metrics.RangeRequests.Value() != uint64(len(cases)) {
+		t.Fatalf("range requests = %d, want %d",
+			lc.Nodes[0].Metrics.RangeRequests.Value(), len(cases))
+	}
+}
+
+func TestFetchRangeRejected(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := string(login(t, lc))
+	base := lc.Nodes[0].BaseURL()
+	total := lc.Config.DatasetBytes
+
+	for _, h := range []string{
+		"bytes=oops",
+		"bytes=9-5",
+		"bytes=-0",
+		"bytes=0-10,20-30",
+		fmt.Sprintf("bytes=%d-", total), // offset == size
+		fmt.Sprintf("bytes=%d-%d", total+1, total+9),
+	} {
+		resp, _ := rangeGet(t, client, base, tok, "ds-001", h)
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("%s: status %s, want 416", h, resp.Status)
+		}
+		if got := resp.Header.Get("Content-Range"); got != fmt.Sprintf("bytes */%d", total) {
+			t.Fatalf("%s: 416 Content-Range = %q", h, got)
+		}
+	}
+	want := uint64(6)
+	if got := lc.Nodes[0].Metrics.RangeNotSatisfiable.Value(); got != want {
+		t.Fatalf("range 416s = %d, want %d", got, want)
+	}
+	if got := lc.Nodes[0].Metrics.FetchFailures.Value(); got != want {
+		t.Fatalf("fetch failures = %d, want %d", got, want)
+	}
+}
+
+// TestFetchRangeProxied asks an edge that does not hold the dataset for a
+// range: the peer hop must forward the range and the client must see a
+// 206 with only the requested bytes.
+func TestFetchRangeProxied(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 2, Users: 1, Datasets: 2})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := string(login(t, lc))
+	total := lc.Config.DatasetBytes
+
+	// ds-001's origin is node 1; ask node 2 for a slice of it.
+	resp, body := rangeGet(t, client, lc.Nodes[1].BaseURL(), tok, "ds-001", "bytes=100-4199")
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("proxied range = %s, want 206", resp.Status)
+	}
+	if got := resp.Header.Get("Content-Range"); got != fmt.Sprintf("bytes 100-4199/%d", total) {
+		t.Fatalf("Content-Range = %q", got)
+	}
+	if _, err := VerifyPayloadRange(bytes.NewReader(body), "ds-001", 100, 4100); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Nodes[1].Metrics.OriginFetches.Value() != 1 {
+		t.Fatal("proxied range not accounted as origin fetch")
+	}
+}
+
+// TestFetchRangeNoPullThrough: a partial transfer must never mint a
+// replica record, even with pull-through on.
+func TestFetchRangeNoPullThrough(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 2, Users: 1, Datasets: 2, PullThrough: true})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := string(login(t, lc))
+
+	resp, _ := rangeGet(t, client, lc.Nodes[1].BaseURL(), tok, "ds-001", "bytes=0-99")
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("proxied range = %s", resp.Status)
+	}
+	if got := lc.Catalog.ReplicaCount("ds-001"); got != 1 {
+		t.Fatalf("replica count after range fetch = %d, want 1 (no pull-through)", got)
+	}
+
+	// A full fetch still pulls through.
+	fetchDataset(t, client, lc.Nodes[1].BaseURL(), socialnet.Token(tok), "ds-001", lc.Config.DatasetBytes)
+	if got := lc.Catalog.ReplicaCount("ds-001"); got != 2 {
+		t.Fatalf("replica count after full fetch = %d, want 2", got)
+	}
+}
+
+func TestResolveListsReplicaHolders(t *testing.T) {
+	lc := startCluster(t, ClusterConfig{Nodes: 3, Users: 1, Datasets: 3})
+	client := &http.Client{Timeout: 5 * time.Second}
+	tok := login(t, lc)
+	if err := lc.Catalog.AddReplica("ds-001", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	var res ResolveResponse
+	if code := doJSON(t, client, http.MethodPost, lc.Nodes[0].BaseURL()+"/v1/resolve", tok,
+		ResolveRequest{Dataset: "ds-001"}, &res); code != 200 {
+		t.Fatalf("resolve = %d", code)
+	}
+	if len(res.Replicas) != 2 {
+		t.Fatalf("replicas = %+v, want 2 holders", res.Replicas)
+	}
+	seenOrigin := false
+	for _, rep := range res.Replicas {
+		if rep.URL == "" {
+			t.Fatalf("holder %d has no URL", rep.Node)
+		}
+		if rep.Origin {
+			if rep.Node != 1 {
+				t.Fatalf("origin flag on node %d", rep.Node)
+			}
+			seenOrigin = true
+		}
+	}
+	if !seenOrigin {
+		t.Fatal("origin holder missing from replica list")
+	}
+}

@@ -76,6 +76,15 @@ type Metrics struct {
 	Logins     metrics.Counter
 	// BytesServed totals payload bytes sent to clients and peers.
 	BytesServed metrics.Counter
+	// RangeRequests counts fetches that carried a satisfiable Range
+	// header (served as 206); RangeNotSatisfiable counts the 416s.
+	RangeRequests       metrics.Counter
+	RangeNotSatisfiable metrics.Counter
+	// PayloadCacheHits / PayloadCacheMisses count repetition-block cache
+	// outcomes on locally served payloads: a hit skips the per-request
+	// SHA-256 chain entirely.
+	PayloadCacheHits   metrics.Counter
+	PayloadCacheMisses metrics.Counter
 	// ReportedAccesses aggregates client-side access counts delivered
 	// via /v1/report (the Section V-A usage statistics).
 	ReportedAccesses metrics.Counter
@@ -113,6 +122,10 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_reports_total", &m.Reports},
 		{"scdn_logins_total", &m.Logins},
 		{"scdn_bytes_served_total", &m.BytesServed},
+		{"scdn_range_requests_total", &m.RangeRequests},
+		{"scdn_range_not_satisfiable_total", &m.RangeNotSatisfiable},
+		{"scdn_payload_cache_hits_total", &m.PayloadCacheHits},
+		{"scdn_payload_cache_misses_total", &m.PayloadCacheMisses},
 		{"scdn_reported_accesses_total", &m.ReportedAccesses},
 	}
 	for _, c := range counters {

@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 
 	"scdn/internal/storage"
@@ -18,7 +19,8 @@ import (
 const payloadBlockSize = 4096
 
 // payloadBlock builds a dataset's repetition block by chaining SHA-256
-// over the dataset ID.
+// over the dataset ID. Hot paths should go through BlockCache instead of
+// calling this per request.
 func payloadBlock(id storage.DatasetID) []byte {
 	block := make([]byte, 0, payloadBlockSize)
 	sum := sha256.Sum256([]byte(id))
@@ -29,20 +31,19 @@ func payloadBlock(id storage.DatasetID) []byte {
 	return block[:payloadBlockSize]
 }
 
-// WritePayload streams a dataset's first n bytes to w and returns the
-// bytes written.
-func WritePayload(w io.Writer, id storage.DatasetID, n int64) (int64, error) {
-	if n < 0 {
-		return 0, fmt.Errorf("server: negative payload size %d", n)
-	}
-	block := payloadBlock(id)
+// writeBlockRange streams payload bytes [off, off+n) derived from a
+// prebuilt repetition block, honoring mid-block offsets: the first write
+// starts at off within the block cycle, subsequent writes emit whole
+// blocks until n bytes are out.
+func writeBlockRange(w io.Writer, block []byte, off, n int64) (int64, error) {
 	var written int64
 	for written < n {
-		chunk := int64(len(block))
+		pos := (off + written) % int64(len(block))
+		chunk := int64(len(block)) - pos
 		if rem := n - written; rem < chunk {
 			chunk = rem
 		}
-		m, err := w.Write(block[:chunk])
+		m, err := w.Write(block[pos : pos+chunk])
 		written += int64(m)
 		if err != nil {
 			return written, err
@@ -51,33 +52,95 @@ func WritePayload(w io.Writer, id storage.DatasetID, n int64) (int64, error) {
 	return written, nil
 }
 
+// WritePayload streams a dataset's first n bytes to w and returns the
+// bytes written.
+func WritePayload(w io.Writer, id storage.DatasetID, n int64) (int64, error) {
+	return WritePayloadRange(w, id, 0, n)
+}
+
+// WritePayloadRange streams the dataset's bytes [off, off+n) to w — the
+// server side of an HTTP range request. An empty range (n == 0) writes
+// nothing and succeeds.
+func WritePayloadRange(w io.Writer, id storage.DatasetID, off, n int64) (int64, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("server: negative payload offset %d", off)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("server: negative payload size %d", n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return writeBlockRange(w, payloadBlock(id), off, n)
+}
+
+// RangeVerifier incrementally checks that a byte stream equals the
+// dataset's deterministic payload over [off, off+n). It is an io.Writer,
+// so verification runs in constant memory as the response body streams
+// through it — no buffering of the payload — while a running SHA-256 of
+// the consumed bytes is kept for callers that want a content digest.
+type RangeVerifier struct {
+	id    storage.DatasetID
+	block []byte
+	off   int64 // absolute offset of the next expected byte
+	n     int64 // bytes still expected
+	read  int64
+	h     hash.Hash
+}
+
+// NewRangeVerifier builds a verifier for the dataset's bytes [off, off+n).
+func NewRangeVerifier(id storage.DatasetID, off, n int64) *RangeVerifier {
+	return &RangeVerifier{id: id, block: payloadBlock(id), off: off, n: n, h: sha256.New()}
+}
+
+// Write consumes the next chunk of the stream, failing on the first
+// mismatched or surplus byte.
+func (v *RangeVerifier) Write(p []byte) (int, error) {
+	if int64(len(p)) > v.n {
+		return 0, fmt.Errorf("server: payload for %q longer than expected: %d surplus bytes at offset %d",
+			v.id, int64(len(p))-v.n, v.off)
+	}
+	for i, b := range p {
+		if b != v.block[(v.off+int64(i))%int64(len(v.block))] {
+			return i, fmt.Errorf("server: payload for %q corrupt at offset %d", v.id, v.off+int64(i))
+		}
+	}
+	_, _ = v.h.Write(p)
+	v.off += int64(len(p))
+	v.n -= int64(len(p))
+	v.read += int64(len(p))
+	return len(p), nil
+}
+
+// Close checks stream completeness: every expected byte arrived.
+func (v *RangeVerifier) Close() error {
+	if v.n != 0 {
+		return fmt.Errorf("server: payload for %q truncated: %d bytes missing at offset %d", v.id, v.n, v.off)
+	}
+	return nil
+}
+
+// BytesRead returns how many verified bytes have streamed through.
+func (v *RangeVerifier) BytesRead() int64 { return v.read }
+
+// Sum256 returns the SHA-256 of the bytes consumed so far.
+func (v *RangeVerifier) Sum256() []byte { return v.h.Sum(nil) }
+
 // VerifyPayload consumes r and checks that it carries exactly the
 // dataset's deterministic stream of length n. It returns the bytes read
-// and the first mismatch found.
+// and the first mismatch found. Verification streams: memory stays flat
+// regardless of n.
 func VerifyPayload(r io.Reader, id storage.DatasetID, n int64) (int64, error) {
-	block := payloadBlock(id)
-	buf := make([]byte, payloadBlockSize)
-	var read int64
-	for {
-		m, err := r.Read(buf)
-		for i := 0; i < m; i++ {
-			if read >= n {
-				return read, fmt.Errorf("server: payload for %q longer than %d bytes", id, n)
-			}
-			if buf[i] != block[read%payloadBlockSize] {
-				return read, fmt.Errorf("server: payload for %q corrupt at offset %d", id, read)
-			}
-			read++
-		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return read, err
-		}
+	return VerifyPayloadRange(r, id, 0, n)
+}
+
+// VerifyPayloadRange consumes r and checks it carries exactly the
+// dataset's bytes [off, off+n).
+func VerifyPayloadRange(r io.Reader, id storage.DatasetID, off, n int64) (int64, error) {
+	v := NewRangeVerifier(id, off, n)
+	read, err := io.Copy(v, r)
+	if err != nil {
+		return read, err
 	}
-	if read != n {
-		return read, fmt.Errorf("server: payload for %q truncated: %d of %d bytes", id, read, n)
-	}
-	return read, nil
+	return read, v.Close()
 }

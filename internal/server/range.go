@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// byteRange is a resolved HTTP byte range: off is the first byte served,
+// n the length in bytes.
+type byteRange struct {
+	off, n int64
+}
+
+// end returns the inclusive last-byte position (only valid for n > 0).
+func (r byteRange) end() int64 { return r.off + r.n - 1 }
+
+// contentRange renders the 206 Content-Range header value.
+func (r byteRange) contentRange(total int64) string {
+	return fmt.Sprintf("bytes %d-%d/%d", r.off, r.end(), total)
+}
+
+// header renders the client-side Range header value for this range.
+func (r byteRange) header() string {
+	return fmt.Sprintf("bytes=%d-%d", r.off, r.end())
+}
+
+// parseRange interprets a Range request header against a body of total
+// bytes. It returns (range, true, nil) for a valid single range,
+// (full, false, nil) when no Range header is present, and an error when
+// the header is malformed or unsatisfiable — the delivery plane answers
+// those with 416 rather than silently serving the full body, so a striped
+// client can never mistake a whole payload for one stripe. Multipart
+// ranges ("a-b,c-d") are deliberately unsupported: stripes are
+// single-range by construction.
+func parseRange(h string, total int64) (byteRange, bool, error) {
+	if h == "" {
+		return byteRange{off: 0, n: total}, false, nil
+	}
+	const prefix = "bytes="
+	if !strings.HasPrefix(h, prefix) {
+		return byteRange{}, false, fmt.Errorf("server: unsupported range unit in %q", h)
+	}
+	spec := strings.TrimSpace(h[len(prefix):])
+	if strings.Contains(spec, ",") {
+		return byteRange{}, false, fmt.Errorf("server: multipart ranges unsupported: %q", h)
+	}
+	dash := strings.Index(spec, "-")
+	if dash < 0 {
+		return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+	if first == "" {
+		// Suffix form "bytes=-k": the final k bytes.
+		k, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || k <= 0 {
+			return byteRange{}, false, fmt.Errorf("server: malformed suffix range %q", h)
+		}
+		if k > total {
+			k = total
+		}
+		if k == 0 {
+			return byteRange{}, false, fmt.Errorf("server: unsatisfiable range %q for %d bytes", h, total)
+		}
+		return byteRange{off: total - k, n: k}, true, nil
+	}
+	off, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || off < 0 {
+		return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+	}
+	if off >= total {
+		return byteRange{}, false, fmt.Errorf("server: unsatisfiable range %q for %d bytes", h, total)
+	}
+	end := total - 1
+	if last != "" {
+		end, err = strconv.ParseInt(last, 10, 64)
+		if err != nil || end < off {
+			return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+		}
+		if end > total-1 {
+			end = total - 1
+		}
+	}
+	return byteRange{off: off, n: end - off + 1}, true, nil
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	const total = 10000
+	cases := []struct {
+		h       string
+		off, n  int64
+		isRange bool
+		wantErr bool
+	}{
+		{"", 0, total, false, false},
+		{"bytes=0-4095", 0, 4096, true, false},
+		{"bytes=4096-8191", 4096, 4096, true, false},
+		{"bytes=9999-9999", 9999, 1, true, false}, // last byte
+		{"bytes=0-0", 0, 1, true, false},          // first byte
+		{"bytes=500-", 500, total - 500, true, false},
+		{"bytes=0-99999", 0, total, true, false}, // end clipped
+		{"bytes=-100", total - 100, 100, true, false},
+		{"bytes=-99999", 0, total, true, false}, // suffix clipped
+		// Malformed.
+		{"bytes=", 0, 0, false, true},
+		{"bytes=abc-def", 0, 0, false, true},
+		{"bytes=5", 0, 0, false, true},
+		{"bytes=9-5", 0, 0, false, true},
+		{"bytes=-0", 0, 0, false, true},
+		{"bytes=0-10,20-30", 0, 0, false, true}, // multipart unsupported
+		{"items=0-5", 0, 0, false, true},        // unknown unit
+		// Unsatisfiable.
+		{"bytes=10000-", 0, 0, false, true},
+		{"bytes=10001-10005", 0, 0, false, true},
+	}
+	for _, tc := range cases {
+		rng, isRange, err := parseRange(tc.h, total)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseRange(%q): want error, got %+v", tc.h, rng)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRange(%q): %v", tc.h, err)
+			continue
+		}
+		if rng.off != tc.off || rng.n != tc.n || isRange != tc.isRange {
+			t.Errorf("parseRange(%q) = {off %d, n %d} range=%v, want {off %d, n %d} range=%v",
+				tc.h, rng.off, rng.n, isRange, tc.off, tc.n, tc.isRange)
+		}
+	}
+}
+
+// TestWritePayloadRangeBoundaries checks range writes at every block
+// boundary case: offset 0, mid-block, across blocks, the last byte, and
+// the empty range.
+func TestWritePayloadRangeBoundaries(t *testing.T) {
+	const id = "ds-range"
+	const total = 3*payloadBlockSize + 17
+	var whole bytes.Buffer
+	if _, err := WritePayload(&whole, id, total); err != nil {
+		t.Fatal(err)
+	}
+	ref := whole.Bytes()
+
+	cases := []struct{ off, n int64 }{
+		{0, total},                           // full body as a range
+		{0, 1},                               // first byte
+		{0, payloadBlockSize},                // exactly one block
+		{payloadBlockSize, payloadBlockSize}, // block-aligned interior
+		{1000, 1},                            // single mid-block byte
+		{1000, payloadBlockSize},             // mid-block start crossing a boundary
+		{payloadBlockSize - 1, 2},            // straddles a block edge
+		{total - 1, 1},                       // last byte
+		{total - 17, 17},                     // trailing partial block
+		{500, 0},                             // empty range writes nothing
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		written, err := WritePayloadRange(&buf, id, tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("range %d+%d: %v", tc.off, tc.n, err)
+		}
+		if written != tc.n {
+			t.Fatalf("range %d+%d wrote %d bytes", tc.off, tc.n, written)
+		}
+		if !bytes.Equal(buf.Bytes(), ref[tc.off:tc.off+tc.n]) {
+			t.Fatalf("range %d+%d bytes diverge from whole payload", tc.off, tc.n)
+		}
+	}
+
+	if _, err := WritePayloadRange(&bytes.Buffer{}, id, -1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := WritePayloadRange(&bytes.Buffer{}, id, 0, -5); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestRangeVerifier(t *testing.T) {
+	const id = "ds-verify"
+	const off, n = 5000, 3000
+	var buf bytes.Buffer
+	if _, err := WritePayloadRange(&buf, id, off, n); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	v := NewRangeVerifier(id, off, n)
+	if _, err := v.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v.BytesRead() != n {
+		t.Fatalf("bytes read = %d", v.BytesRead())
+	}
+	if len(v.Sum256()) != 32 {
+		t.Fatal("no digest")
+	}
+
+	// Truncated: missing bytes surface on Close.
+	v = NewRangeVerifier(id, off, n)
+	if _, err := v.Write(good[:n-10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+
+	// Corrupt byte mid-stream.
+	bad := append([]byte(nil), good...)
+	bad[1234] ^= 0xff
+	v = NewRangeVerifier(id, off, n)
+	if _, err := v.Write(bad); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+
+	// Surplus bytes rejected.
+	v = NewRangeVerifier(id, off, n)
+	if _, err := v.Write(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("surplus byte accepted")
+	}
+
+	// Wrong offset means wrong expected bytes.
+	v = NewRangeVerifier(id, off+1, n)
+	if _, err := v.Write(good); err == nil {
+		t.Fatal("offset-shifted stream verified")
+	}
+}
+
+func TestBlockCache(t *testing.T) {
+	c := NewBlockCache(2)
+	b1, hit := c.Block("ds-a")
+	if hit {
+		t.Fatal("cold lookup reported hit")
+	}
+	if !bytes.Equal(b1, payloadBlock("ds-a")) {
+		t.Fatal("cached block differs from computed block")
+	}
+	if _, hit = c.Block("ds-a"); !hit {
+		t.Fatal("warm lookup reported miss")
+	}
+	// Fill past capacity: ds-a stays (MRU), ds-b evicted.
+	c.Block("ds-b")
+	c.Block("ds-a")
+	c.Block("ds-c")
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, hit = c.Block("ds-a"); !hit {
+		t.Fatal("recently used block evicted")
+	}
+	if _, hit = c.Block("ds-b"); hit {
+		t.Fatal("LRU victim still cached")
+	}
+}
+
+func TestBlockCacheConcurrent(t *testing.T) {
+	c := NewBlockCache(64)
+	done := make(chan []byte, 32)
+	for g := 0; g < 32; g++ {
+		go func() {
+			b, _ := c.Block("ds-flight")
+			done <- b
+		}()
+	}
+	want := payloadBlock("ds-flight")
+	for g := 0; g < 32; g++ {
+		if b := <-done; !bytes.Equal(b, want) {
+			t.Fatal("concurrent Block returned wrong bytes")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (singleflight collapsed)", c.Len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scdn/internal/allocation"
@@ -26,56 +27,85 @@ type Member struct {
 // implements allocation.Directory, so the catalog's replica selection
 // (nearest online holder) runs against real node liveness. Safe for
 // concurrent use.
+//
+// Reads are lock-free: membership lives in an immutable map snapshot
+// behind an atomic pointer, and writers publish a fresh copy. Every
+// catalog resolve performs several directory lookups (requester site,
+// holder liveness, RTT), so a shared reader lock here would serialize
+// all catalog shards on one contended cache line; copy-on-write keeps
+// the read path scaling with cores while membership churn — rare next
+// to lookups — pays the copy.
 type Registry struct {
-	mu      sync.RWMutex
-	members map[allocation.NodeID]Member
+	writeMu sync.Mutex // serializes writers; readers never take it
+	members atomic.Pointer[map[allocation.NodeID]Member]
 	// RTTFloor and RTTStep parameterize the inter-site latency estimate
-	// used for replica selection: floor + step × |siteA − siteB|.
+	// used for replica selection: floor + step × |siteA − siteB|. Set
+	// them before the registry is shared; they are read without locking.
 	RTTFloor time.Duration
 	RTTStep  time.Duration
 }
 
 // NewRegistry returns an empty registry with default RTT parameters.
 func NewRegistry() *Registry {
-	return &Registry{
-		members:  make(map[allocation.NodeID]Member),
+	r := &Registry{
 		RTTFloor: time.Millisecond,
 		RTTStep:  2 * time.Millisecond,
 	}
+	empty := make(map[allocation.NodeID]Member)
+	r.members.Store(&empty)
+	return r
+}
+
+// snapshot returns the current immutable membership map. Callers must
+// not mutate it.
+func (r *Registry) snapshot() map[allocation.NodeID]Member {
+	return *r.members.Load()
+}
+
+// update publishes a new snapshot produced by applying fn to a copy of
+// the current membership.
+func (r *Registry) update(fn func(map[allocation.NodeID]Member)) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	cur := r.snapshot()
+	next := make(map[allocation.NodeID]Member, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	fn(next)
+	r.members.Store(&next)
 }
 
 // Register adds or replaces a member record.
 func (r *Registry) Register(m Member) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.members[m.Node] = m
+	r.update(func(members map[allocation.NodeID]Member) {
+		members[m.Node] = m
+	})
 }
 
 // SetOnline flips a member's liveness (no-op for unknown members).
 func (r *Registry) SetOnline(node allocation.NodeID, online bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.members[node]; ok {
-		m.Online = online
-		r.members[node] = m
-	}
+	r.update(func(members map[allocation.NodeID]Member) {
+		if m, ok := members[node]; ok {
+			m.Online = online
+			members[node] = m
+		}
+	})
 }
 
 // SetBaseURL records a member's HTTP endpoint once it starts listening.
 func (r *Registry) SetBaseURL(node allocation.NodeID, url string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.members[node]; ok {
-		m.BaseURL = url
-		r.members[node] = m
-	}
+	r.update(func(members map[allocation.NodeID]Member) {
+		if m, ok := members[node]; ok {
+			m.BaseURL = url
+			members[node] = m
+		}
+	})
 }
 
 // BaseURL returns a member's endpoint.
 func (r *Registry) BaseURL(node allocation.NodeID) (string, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.members[node]
+	m, ok := r.snapshot()[node]
 	if !ok || m.BaseURL == "" {
 		return "", false
 	}
@@ -84,10 +114,9 @@ func (r *Registry) BaseURL(node allocation.NodeID) (string, bool) {
 
 // Members returns all records sorted by node ID.
 func (r *Registry) Members() []Member {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Member, 0, len(r.members))
-	for _, m := range r.members {
+	snap := r.snapshot()
+	out := make([]Member, 0, len(snap))
+	for _, m := range snap {
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
@@ -96,17 +125,13 @@ func (r *Registry) Members() []Member {
 
 // SiteOf implements allocation.Directory.
 func (r *Registry) SiteOf(node allocation.NodeID) (int, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.members[node]
+	m, ok := r.snapshot()[node]
 	return m.Site, ok
 }
 
 // Online implements allocation.Directory.
 func (r *Registry) Online(node allocation.NodeID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.members[node]
+	m, ok := r.snapshot()[node]
 	return ok && m.Online
 }
 
@@ -117,10 +142,7 @@ func (r *Registry) RTT(siteA, siteB int) (time.Duration, error) {
 	if d < 0 {
 		d = -d
 	}
-	r.mu.RLock()
-	floor, step := r.RTTFloor, r.RTTStep
-	r.mu.RUnlock()
-	return floor + time.Duration(d)*step, nil
+	return r.RTTFloor + time.Duration(d)*r.RTTStep, nil
 }
 
 // interface check

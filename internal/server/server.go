@@ -41,6 +41,10 @@ type Config struct {
 	// replica partition and registers the new replica in the catalog, so
 	// demand migrates data toward where it is requested.
 	PullThrough bool
+	// BlockCacheBlocks caps the node's payload-block cache (number of
+	// cached 4 KiB repetition blocks). Zero means
+	// DefaultBlockCacheBlocks.
+	BlockCacheBlocks int
 	// Clock supplies the node's notion of elapsed time (repository
 	// recency, token expiry). Nil means wall time since Start.
 	Clock func() time.Duration
@@ -52,6 +56,7 @@ type Node struct {
 	auth     *middleware.Middleware
 	catalog  *Catalog
 	registry *Registry
+	blocks   *BlockCache
 	Metrics  *Metrics
 
 	// repoMu serializes access to the repository, which is
@@ -94,6 +99,7 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 		auth:     auth,
 		catalog:  catalog,
 		registry: registry,
+		blocks:   NewBlockCache(cfg.BlockCacheBlocks),
 		Metrics:  &Metrics{},
 		client:   &http.Client{Timeout: 30 * time.Second},
 	}

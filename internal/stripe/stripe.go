@@ -1,0 +1,184 @@
+// Package stripe implements the client side of the paper's GridFTP-style
+// high-performance transfer (Section V-A): a dataset is split into N byte
+// ranges fetched concurrently — ideally from N different replica holders
+// — and reassembled into one verified stream. Each stripe is an HTTP
+// range request against the serving plane's GET /v1/fetch/{dataset}, so
+// any edge can serve any stripe (locally or via its own peer fallback),
+// and verification runs in-stream against the deterministic payload, so
+// memory stays flat no matter how large the dataset is.
+package stripe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"scdn/internal/server"
+	"scdn/internal/storage"
+)
+
+// Options parameterizes a striped fetch.
+type Options struct {
+	// Client issues the HTTP requests (required).
+	Client *http.Client
+	// Endpoints are candidate base URLs ("http://host:port"). Stripe i
+	// targets Endpoints[i mod len] — pass replica holders first (e.g.
+	// from ResolveResponse.Replicas) to realize holder-parallel transfer.
+	Endpoints []string
+	// Token is the bearer session token.
+	Token string
+	// Stripes is the parallel range count (values < 1 mean 1). Datasets
+	// smaller than the stripe count use fewer, non-empty stripes.
+	Stripes int
+	// Verify checks every stripe in-stream against the deterministic
+	// payload; the fetch fails on the first corrupt, short, or surplus
+	// byte.
+	Verify bool
+	// Dst, when non-nil, receives the reassembled payload at the correct
+	// offsets (stripes write concurrently, each to its own region).
+	Dst io.WriterAt
+}
+
+// StripeStat describes one completed (or failed) stripe.
+type StripeStat struct {
+	Offset, Length int64
+	Bytes          int64
+	Endpoint       string
+	Source         string // serving edge, from X-SCDN-Source
+	Elapsed        time.Duration
+	Err            error
+}
+
+// Result summarizes a striped fetch.
+type Result struct {
+	// Bytes is the total payload bytes received across stripes.
+	Bytes int64
+	// Stripes holds per-stripe accounting, ordered by offset.
+	Stripes []StripeStat
+	// Elapsed is the wall-clock time of the whole fan-out.
+	Elapsed time.Duration
+}
+
+// Fetch retrieves the dataset's total bytes as opts.Stripes concurrent
+// range requests and returns per-stripe accounting. It fails if any
+// stripe errors, returns a wrong status, or moves the wrong byte count —
+// a short stripe can never masquerade as success.
+func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64) (Result, error) {
+	if opts.Client == nil {
+		return Result{}, fmt.Errorf("stripe: nil HTTP client")
+	}
+	if len(opts.Endpoints) == 0 {
+		return Result{}, fmt.Errorf("stripe: no endpoints")
+	}
+	if total <= 0 {
+		return Result{}, fmt.Errorf("stripe: non-positive dataset size %d", total)
+	}
+	stripes := opts.Stripes
+	if stripes < 1 {
+		stripes = 1
+	}
+	if int64(stripes) > total {
+		stripes = int(total)
+	}
+	chunk := (total + int64(stripes) - 1) / int64(stripes)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	stats := make([]StripeStat, 0, stripes)
+	for off := int64(0); off < total; off += chunk {
+		length := chunk
+		if rem := total - off; rem < length {
+			length = rem
+		}
+		stats = append(stats, StripeStat{Offset: off, Length: length})
+	}
+	var wg sync.WaitGroup
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			st.Endpoint = opts.Endpoints[i%len(opts.Endpoints)]
+			t0 := time.Now()
+			st.Bytes, st.Source, st.Err = fetchOne(ctx, opts, id, st.Endpoint, st.Offset, st.Length, total)
+			st.Elapsed = time.Since(t0)
+			if st.Err != nil {
+				cancel() // abort sibling stripes; the fetch already failed
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res := Result{Stripes: stats, Elapsed: time.Since(start)}
+	var firstErr error
+	for i := range stats {
+		res.Bytes += stats[i].Bytes
+		if stats[i].Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stripe: range %d-%d of %q from %s: %w",
+				stats[i].Offset, stats[i].Offset+stats[i].Length-1, id,
+				stats[i].Endpoint, stats[i].Err)
+		}
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if res.Bytes != total {
+		return res, fmt.Errorf("stripe: reassembled %d of %d bytes of %q", res.Bytes, total, id)
+	}
+	return res, nil
+}
+
+// fetchOne moves a single stripe, verifying and/or writing it as it
+// streams.
+func fetchOne(ctx context.Context, opts Options, id storage.DatasetID,
+	base string, off, length, total int64) (int64, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/fetch/"+url.PathEscape(string(id)), nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Authorization", "Bearer "+opts.Token)
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+length-1))
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	src := resp.Header.Get("X-SCDN-Source")
+	if resp.StatusCode != http.StatusPartialContent {
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return 0, src, fmt.Errorf("status %s, want 206", resp.Status)
+	}
+	wantCR := fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, total)
+	if cr := resp.Header.Get("Content-Range"); cr != wantCR {
+		return 0, src, fmt.Errorf("Content-Range %q, want %q", cr, wantCR)
+	}
+
+	var w io.Writer = io.Discard
+	var verifier *server.RangeVerifier
+	if opts.Verify {
+		verifier = server.NewRangeVerifier(id, off, length)
+		w = verifier
+	}
+	if opts.Dst != nil {
+		w = io.MultiWriter(w, io.NewOffsetWriter(opts.Dst, off))
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return n, src, err
+	}
+	if verifier != nil {
+		if err := verifier.Close(); err != nil {
+			return n, src, err
+		}
+	} else if n != length {
+		return n, src, fmt.Errorf("read %d bytes, want %d", n, length)
+	}
+	return n, src, nil
+}

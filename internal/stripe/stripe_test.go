@@ -1,0 +1,140 @@
+package stripe
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"scdn/internal/server"
+)
+
+// aligned buffer implementing io.WriterAt for reassembly checks.
+type bufferAt struct {
+	b []byte
+}
+
+func (w *bufferAt) WriteAt(p []byte, off int64) (int, error) {
+	copy(w.b[off:], p)
+	return len(p), nil
+}
+
+func startCluster(t *testing.T, cfg server.ClusterConfig) (*server.LocalCluster, string) {
+	t.Helper()
+	lc, err := server.StartLocalCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Shutdown(ctx)
+	})
+	tok, err := lc.Login(lc.UserIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lc, string(tok)
+}
+
+func TestStripedFetchVerifiesAndReassembles(t *testing.T) {
+	lc, tok := startCluster(t, server.ClusterConfig{Nodes: 3, Users: 1, Datasets: 3})
+	client := &http.Client{Timeout: 10 * time.Second}
+	total := lc.Config.DatasetBytes
+	dst := &bufferAt{b: make([]byte, total)}
+
+	res, err := Fetch(context.Background(), Options{
+		Client: client, Endpoints: lc.URLs(), Token: tok,
+		Stripes: 4, Verify: true, Dst: dst,
+	}, "ds-001", total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != total {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, total)
+	}
+	if len(res.Stripes) != 4 {
+		t.Fatalf("stripes = %d, want 4", len(res.Stripes))
+	}
+	// Stripes must cover [0, total) contiguously, and each must have hit
+	// its own endpoint in rotation.
+	var off int64
+	for i, st := range res.Stripes {
+		if st.Offset != off {
+			t.Fatalf("stripe %d offset = %d, want %d", i, st.Offset, off)
+		}
+		if st.Endpoint != lc.URLs()[i%len(lc.URLs())] {
+			t.Fatalf("stripe %d endpoint = %s", i, st.Endpoint)
+		}
+		if st.Err != nil || st.Bytes != st.Length {
+			t.Fatalf("stripe %d = %+v", i, st)
+		}
+		off += st.Length
+	}
+	if off != total {
+		t.Fatalf("stripes cover %d of %d bytes", off, total)
+	}
+	// The reassembled buffer is byte-exact.
+	var want bytes.Buffer
+	if _, err := server.WritePayload(&want, "ds-001", total); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.b, want.Bytes()) {
+		t.Fatal("reassembled payload diverges from reference")
+	}
+}
+
+func TestStripedFetchClipsSmallDatasets(t *testing.T) {
+	lc, tok := startCluster(t, server.ClusterConfig{
+		Nodes: 1, Users: 1, Datasets: 1, DatasetBytes: 3,
+	})
+	client := &http.Client{Timeout: 10 * time.Second}
+	res, err := Fetch(context.Background(), Options{
+		Client: client, Endpoints: lc.URLs(), Token: tok,
+		Stripes: 8, Verify: true,
+	}, "ds-001", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 3 || len(res.Stripes) != 3 {
+		t.Fatalf("result = %d bytes over %d stripes, want 3 over 3", res.Bytes, len(res.Stripes))
+	}
+}
+
+func TestStripedFetchDetectsWrongSize(t *testing.T) {
+	lc, tok := startCluster(t, server.ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
+	client := &http.Client{Timeout: 10 * time.Second}
+	// Claim the dataset is larger than it is: the stripe past the real
+	// end must fail with 416, and the fetch must fail loudly.
+	if _, err := Fetch(context.Background(), Options{
+		Client: client, Endpoints: lc.URLs(), Token: tok,
+		Stripes: 4, Verify: true,
+	}, "ds-001", lc.Config.DatasetBytes*2); err == nil {
+		t.Fatal("oversized fetch succeeded")
+	}
+}
+
+func TestStripedFetchAuthRequired(t *testing.T) {
+	lc, _ := startCluster(t, server.ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
+	client := &http.Client{Timeout: 10 * time.Second}
+	if _, err := Fetch(context.Background(), Options{
+		Client: client, Endpoints: lc.URLs(), Token: "bogus",
+		Stripes: 2, Verify: true,
+	}, "ds-001", lc.Config.DatasetBytes); err == nil {
+		t.Fatal("unauthenticated striped fetch succeeded")
+	}
+}
+
+func TestFetchValidation(t *testing.T) {
+	client := &http.Client{}
+	if _, err := Fetch(context.Background(), Options{Endpoints: []string{"x"}}, "d", 1); err == nil {
+		t.Fatal("nil client accepted")
+	}
+	if _, err := Fetch(context.Background(), Options{Client: client}, "d", 1); err == nil {
+		t.Fatal("no endpoints accepted")
+	}
+	if _, err := Fetch(context.Background(), Options{Client: client, Endpoints: []string{"x"}}, "d", 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
