@@ -7,9 +7,12 @@
 #   make test    — tier-1 only (what CI has always run).
 #   make race    — just the -race pass.
 #   make bench   — the benchmark harness: delivery-plane micro-benchmarks
-#                  (catalog resolve, payload block cache, range writes) at
-#                  GOMAXPROCS=4, the reproduction benchmarks, and a short
-#                  striped loadgen pass writing BENCH_delivery.json.
+#                  (catalog resolve, payload block cache, range writes,
+#                  disk vs generated serving) at GOMAXPROCS=4, the
+#                  reproduction benchmarks, and short striped loadgen
+#                  passes in both payload store modes — the dir-mode run
+#                  writes BENCH_delivery.json, the generated-mode run
+#                  BENCH_delivery_generated.json.
 #   make loadgen — end-to-end networked benchmark: closed-loop load
 #                  against a 3-node in-process edge cluster over TCP.
 
@@ -27,14 +30,18 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/metrics ./internal/server ./internal/stripe
+	$(GO) test -race ./internal/metrics ./internal/server ./internal/storage ./internal/stripe
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -cpu 4 ./...
-	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -bench-out BENCH_delivery.json
+	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -store generated -bench-out BENCH_delivery_generated.json
+	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -store dir -bench-out BENCH_delivery.json
 
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/server
+	$(GO) run ./cmd/scdn-loadgen -nodes 2 -workers 4 -requests 80 -store dir -bench-out BENCH_delivery.json
+	grep -q '"payload_mode": "dir"' BENCH_delivery.json
+	grep -q '"failed": 0' BENCH_delivery.json
 
 loadgen:
 	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 600

@@ -16,6 +16,7 @@
 //	scdn-loadgen                                   # 3-node cluster, 8 workers, 600 requests
 //	scdn-loadgen -nodes 5 -workers 32 -requests 10000 -pull-through
 //	scdn-loadgen -stripes 4                        # parallel striped range fetches
+//	scdn-loadgen -store dir                        # disk-backed volumes, sendfile delivery
 //	scdn-loadgen -targets http://127.0.0.1:8001,http://127.0.0.1:8002 -datasets 12
 package main
 
@@ -55,6 +56,7 @@ func main() {
 		pullThrough = flag.Bool("pull-through", true, "enable pull-through caching (in-process mode)")
 		verify      = flag.Bool("verify", true, "verify every payload in-stream, byte-for-byte")
 		benchOut    = flag.String("bench-out", "BENCH_delivery.json", "write a machine-readable benchmark record here (empty disables)")
+		store       = flag.String("store", "generated", "payload store for the in-process cluster: generated or dir")
 	)
 	flag.Parse()
 
@@ -63,10 +65,15 @@ func main() {
 		datasetIDs []storage.DatasetID
 		userIDs    []int64
 	)
+	// payloadMode lands in the benchmark record so perf runs in the two
+	// store modes stay distinguishable; against an external cluster the
+	// mode is whatever scdn-serve chose, recorded as "targets".
+	payloadMode := *store
 	if *targets == "" {
 		lc, err := server.StartLocalCluster(server.ClusterConfig{
 			Nodes: *nodes, Users: *workers, Datasets: *datasets,
 			DatasetBytes: *bytesPer, Seed: *seed, PullThrough: *pullThrough,
+			StoreMode: *store,
 		})
 		if err != nil {
 			fatal(err)
@@ -81,8 +88,10 @@ func main() {
 		for _, u := range lc.UserIDs {
 			userIDs = append(userIDs, int64(u))
 		}
-		fmt.Printf("scdn-loadgen: started %d-node in-process cluster on loopback TCP\n", *nodes)
+		fmt.Printf("scdn-loadgen: started %d-node in-process cluster on loopback TCP (store: %s)\n",
+			*nodes, *store)
 	} else {
+		payloadMode = "targets"
 		urls = strings.Split(*targets, ",")
 		for d := 0; d < *datasets; d++ {
 			datasetIDs = append(datasetIDs, storage.DatasetID(fmt.Sprintf("ds-%03d", d+1)))
@@ -117,11 +126,11 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			client := &http.Client{
-				Timeout: 30 * time.Second,
-				// Striped fetches keep several connections per edge warm.
-				Transport: &http.Transport{MaxIdleConnsPerHost: 4 * *stripesN},
-			}
+			// All workers share the serving plane's tuned transport (one
+			// raised idle pool, keep-alives), matching what the edges use
+			// for their peer hops — striped fetches keep connections warm
+			// without every worker growing a private pool.
+			client := server.NewHTTPClient(30 * time.Second)
 			user := userIDs[w%len(userIDs)]
 			tok, err := loginHTTP(client, urls[w%len(urls)], user)
 			if err != nil {
@@ -233,6 +242,7 @@ func main() {
 		if err := writeBenchRecord(*benchOut, benchRecord{
 			Workers: *workers, Requests: int(issued.Load()), Stripes: int(fetchesPerRequest),
 			Edges: len(urls), Datasets: *datasets, BytesPerDataset: *bytesPer,
+			PayloadMode:    payloadMode,
 			ElapsedSeconds: elapsed.Seconds(),
 			ThroughputRPS:  float64(issued.Load()) / elapsed.Seconds(),
 			ThroughputMBps: mb / elapsed.Seconds(),
@@ -267,6 +277,7 @@ type benchRecord struct {
 	Edges           int       `json:"edges"`
 	Datasets        int       `json:"datasets"`
 	BytesPerDataset int64     `json:"bytes_per_dataset"`
+	PayloadMode     string    `json:"payload_mode"`
 	ElapsedSeconds  float64   `json:"elapsed_seconds"`
 	ThroughputRPS   float64   `json:"throughput_rps"`
 	ThroughputMBps  float64   `json:"throughput_mbps"`

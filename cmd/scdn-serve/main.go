@@ -8,6 +8,7 @@
 //
 //	scdn-serve                         # 3 edges on ephemeral ports
 //	scdn-serve -nodes 5 -datasets 30 -pull-through
+//	scdn-serve -store dir              # disk-backed replica volumes, sendfile delivery
 //	scdn-serve -host 0.0.0.0           # reachable off-box
 //
 // Drive it with scdn-loadgen, or by hand:
@@ -43,6 +44,9 @@ func main() {
 		group       = flag.String("group", "live-collab", "collaboration group scoping all datasets")
 		shards      = flag.Int("catalog-shards", 0, "catalog lock shards, rounded to a power of two (0: default)")
 		blockCache  = flag.Int("block-cache", 0, "payload-block cache capacity per edge, in blocks (0: default)")
+		store       = flag.String("store", "generated", "payload store: generated (in-memory synthesis) or dir (disk-backed replica volumes, sendfile delivery)")
+		storeDir    = flag.String("store-dir", "", "root directory for dir-mode replica volumes (empty: temp dir, removed on shutdown)")
+		storeQuota  = flag.Int64("store-quota", 0, "per-node replica volume byte quota in dir mode (0: replica reserve)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,7 @@ func main() {
 		Users: *users, Datasets: *datasets, DatasetBytes: *bytes,
 		Seed: *seed, PullThrough: *pullThrough, Group: *group,
 		ListenHost: *host, CatalogShards: *shards, BlockCacheBlocks: *blockCache,
+		StoreMode: *store, StoreDir: *storeDir, StoreQuota: *storeQuota,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scdn-serve:", err)
@@ -59,6 +64,9 @@ func main() {
 
 	fmt.Printf("scdn-serve: %d edge servers up (group %q, %d datasets × %d bytes, %d users)\n",
 		len(lc.Nodes), *group, *datasets, *bytes, *users)
+	if lc.StoreRoot != "" {
+		fmt.Printf("  store:    dir mode, replica volumes under %s\n", lc.StoreRoot)
+	}
 	for i, n := range lc.Nodes {
 		fmt.Printf("  edge %d: %s\n", i+1, n.BaseURL())
 	}

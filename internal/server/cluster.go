@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"scdn/internal/allocation"
@@ -38,6 +40,17 @@ type ClusterConfig struct {
 	// (defaults 1 GiB / 512 MiB).
 	RepoCapacity   int64
 	ReplicaReserve int64
+	// StoreMode selects how edges produce payload bytes: "generated"
+	// (in-memory deterministic synthesis, the default) or "dir"
+	// (disk-backed replica volumes served through sendfile).
+	StoreMode string
+	// StoreDir roots the per-node replica volumes in "dir" mode
+	// (<StoreDir>/node-<id>/...). Empty means a fresh temp directory
+	// that Shutdown removes.
+	StoreDir string
+	// StoreQuota bounds each node's replica volume in "dir" mode
+	// (default ReplicaReserve).
+	StoreQuota int64
 	// Group is the collaboration every participant and dataset belongs
 	// to (default "live-collab").
 	Group string
@@ -80,6 +93,12 @@ func (c *ClusterConfig) applyDefaults() {
 	if c.ReplicaReserve <= 0 {
 		c.ReplicaReserve = c.RepoCapacity / 2
 	}
+	if c.StoreMode == "" {
+		c.StoreMode = StoreModeGenerated
+	}
+	if c.StoreQuota <= 0 {
+		c.StoreQuota = c.ReplicaReserve
+	}
 	if c.Group == "" {
 		c.Group = "live-collab"
 	}
@@ -87,6 +106,12 @@ func (c *ClusterConfig) applyDefaults() {
 		c.ListenHost = "127.0.0.1"
 	}
 }
+
+// Store modes for ClusterConfig.StoreMode.
+const (
+	StoreModeGenerated = "generated"
+	StoreModeDir       = "dir"
+)
 
 // clientUserBase offsets client user IDs away from edge node IDs.
 const clientUserBase = 100
@@ -103,12 +128,22 @@ type LocalCluster struct {
 	// UserIDs are the client participants; DatasetIDs the published data.
 	UserIDs    []socialnet.UserID
 	DatasetIDs []storage.DatasetID
+	// StoreRoot is the replica-volume root in "dir" mode ("" otherwise);
+	// node i's files live under StoreRoot/node-<id>/data/.
+	StoreRoot string
+	// ownStoreRoot marks a temp StoreRoot the cluster created and must
+	// remove on Shutdown.
+	ownStoreRoot bool
 }
 
 // StartLocalCluster assembles and starts a cluster. On any error the
 // already-started nodes are shut down before returning.
 func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 	cfg.applyDefaults()
+	if cfg.StoreMode != StoreModeGenerated && cfg.StoreMode != StoreModeDir {
+		return nil, fmt.Errorf("server: unknown store mode %q (want %q or %q)",
+			cfg.StoreMode, StoreModeGenerated, StoreModeDir)
+	}
 	platform := socialnet.New(cfg.Seed)
 	start := time.Now()
 	clock := func() time.Duration { return time.Since(start) }
@@ -122,6 +157,25 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 		Config: cfg, Platform: platform, Middleware: mw,
 		Registry: reg, Catalog: catalog,
 	}
+	if cfg.StoreMode == StoreModeDir {
+		if cfg.StoreDir != "" {
+			lc.StoreRoot = cfg.StoreDir
+		} else {
+			root, err := os.MkdirTemp("", "scdn-store-")
+			if err != nil {
+				return nil, fmt.Errorf("server: store root: %w", err)
+			}
+			lc.StoreRoot = root
+			lc.ownStoreRoot = true
+		}
+	}
+	// fail unwinds partial bootstrap (a temp store root must not leak).
+	fail := func(err error) (*LocalCluster, error) {
+		if lc.ownStoreRoot {
+			_ = os.RemoveAll(lc.StoreRoot)
+		}
+		return nil, err
+	}
 
 	// Edge nodes are researchers contributing repositories (Section V-A):
 	// platform users, group members, registry members, one repo each.
@@ -132,27 +186,36 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 		if err := platform.Register(socialnet.UserID(nodeID), socialnet.Profile{
 			Name: fmt.Sprintf("edge-%d", nodeID), SiteID: site,
 		}); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := platform.JoinGroup(cfg.Group, socialnet.UserID(nodeID)); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		reg.Register(Member{Node: nodeID, Site: site})
 		repo, err := storage.NewRepository(nodeID, site, cfg.RepoCapacity, cfg.ReplicaReserve)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		repos[i] = repo
+		var vol *storage.DiskVolume
+		if cfg.StoreMode == StoreModeDir {
+			vol, err = storage.NewDiskVolume(
+				filepath.Join(lc.StoreRoot, fmt.Sprintf("node-%d", nodeID)), cfg.StoreQuota)
+			if err != nil {
+				return fail(err)
+			}
+		}
 		node, err := NewNode(Config{
 			Node:             nodeID,
 			ListenAddr:       cfg.ListenHost + ":0",
 			PullThrough:      cfg.PullThrough,
 			FetchAttempts:    cfg.FetchAttempts,
 			BlockCacheBlocks: cfg.BlockCacheBlocks,
+			Volume:           vol,
 			Clock:            clock,
 		}, repo, mw, catalog, reg)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		lc.Nodes = append(lc.Nodes, node)
 	}
@@ -218,11 +281,18 @@ func (lc *LocalCluster) Login(user socialnet.UserID) (socialnet.Token, error) {
 	return lc.Middleware.Login(user)
 }
 
-// Shutdown gracefully stops every node, returning the first error.
+// Shutdown gracefully stops every node, returning the first error. A
+// temp store root created by StartLocalCluster is removed; an explicit
+// StoreDir is left in place.
 func (lc *LocalCluster) Shutdown(ctx context.Context) error {
 	var firstErr error
 	for _, n := range lc.Nodes {
 		if err := n.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if lc.ownStoreRoot {
+		if err := os.RemoveAll(lc.StoreRoot); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

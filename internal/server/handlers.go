@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -196,7 +197,7 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if local {
-		n.serveLocal(w, id, rng, isRange, bytes)
+		n.serveLocal(w, r, id, rng, isRange, bytes)
 		return
 	}
 	if fromPeer {
@@ -206,10 +207,112 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 	n.proxyFetch(w, r, id, rng, isRange, bytes, fail)
 }
 
-// serveLocal streams the dataset (or the requested byte range of it) from
-// this edge's repository, deriving bytes from the node's payload-block
-// cache so the SHA-256 chain is paid once per dataset, not per request.
-func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID,
+// serveLocal streams the dataset (or the requested byte range of it)
+// from this edge: from the disk-backed replica volume via sendfile when
+// the node has one, from the in-memory deterministic generator
+// otherwise. Both produce the identical byte stream, so clients verify
+// either the same way.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
+	rng byteRange, isRange bool, total int64) {
+	if n.vol != nil && n.serveDisk(w, r, id, rng, isRange, total) {
+		return
+	}
+	n.serveGenerated(w, id, rng, isRange, total)
+}
+
+// Constant header values shared across requests. The keys they are
+// assigned under are already in canonical form, so the disk serving path
+// pays neither textproto canonicalization nor a value-slice allocation
+// per request for them.
+var (
+	octetStreamHeader  = []string{"application/octet-stream"}
+	acceptRangesHeader = []string{"bytes"}
+)
+
+// serveDisk serves the dataset from the node's replica volume as an
+// *os.File, so on a plain TCP connection the kernel moves the bytes
+// (sendfile) and userspace copies nothing. Full GETs go through
+// http.ServeContent; single-part ranges — already parsed and validated
+// by handleFetch — seek and stream the window directly instead of having
+// ServeContent re-parse the Range header (net/http's ReadFrom unwraps
+// the LimitedReader around the *os.File, so the range path rides
+// sendfile too). The replica is materialized on first access (once, via
+// the deterministic generator, so integrity verification is unchanged).
+// Returns false to fall back to the generated path when the volume
+// cannot produce the file; the fetch must not fail just because a disk
+// is full.
+func (n *Node) serveDisk(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
+	rng byteRange, isRange bool, total int64) bool {
+	f, size, ok := n.vol.Open(id)
+	if !ok {
+		if !n.materialize(id, total) {
+			return false
+		}
+		if f, size, ok = n.vol.Open(id); !ok {
+			return false
+		}
+	}
+	if size != total {
+		// Stale replica (catalog size changed): drop it and re-materialize
+		// on the next access rather than serving wrong bytes now.
+		n.vol.Release(id, f)
+		n.vol.Remove(id)
+		return false
+	}
+	defer n.vol.Release(id, f)
+	h := w.Header()
+	h["Content-Type"] = octetStreamHeader
+	h["Accept-Ranges"] = acceptRangesHeader
+	h["X-Scdn-Source"] = n.srcHdr
+	if isRange {
+		if _, err := f.Seek(rng.off, io.SeekStart); err != nil {
+			return false // nothing written yet; generated path takes over
+		}
+		n.Metrics.StoreDiskHits.Inc()
+		n.Metrics.RangeRequests.Inc()
+		h["Content-Length"] = []string{strconv.FormatInt(rng.n, 10)}
+		h["Content-Range"] = []string{rng.contentRange(total)}
+		w.WriteHeader(http.StatusPartialContent)
+		_, _ = io.CopyN(w, f, rng.n)
+	} else {
+		n.Metrics.StoreDiskHits.Inc()
+		http.ServeContent(w, r, "", time.Time{}, f)
+	}
+	n.Metrics.LocalHits.Inc()
+	n.Metrics.BytesServed.Add(uint64(rng.n))
+	return true
+}
+
+// materialize writes the dataset's deterministic bytes into the replica
+// volume (single-flight across concurrent fetches) and reports whether a
+// committed replica now exists.
+func (n *Node) materialize(id storage.DatasetID, total int64) bool {
+	did, err := n.vol.Materialize(id, total, func(w io.Writer) error {
+		block, hit := n.blocks.Block(id)
+		if hit {
+			n.Metrics.PayloadCacheHits.Inc()
+		} else {
+			n.Metrics.PayloadCacheMisses.Inc()
+		}
+		_, err := writeBlockRangeBuffered(w, block, 0, total)
+		return err
+	})
+	if err != nil {
+		n.Metrics.StoreSpillFailures.Inc()
+		return false
+	}
+	if did {
+		n.Metrics.StoreMaterializations.Inc()
+		n.Metrics.StoreMaterializedBytes.Add(uint64(total))
+	}
+	return true
+}
+
+// serveGenerated streams the dataset from the node's payload-block cache
+// so the SHA-256 chain is paid once per dataset, not per request; the
+// wire bytes are assembled through a pooled buffer, so the steady state
+// allocates nothing per fetch.
+func (n *Node) serveGenerated(w http.ResponseWriter, id storage.DatasetID,
 	rng byteRange, isRange bool, total int64) {
 	block, hit := n.blocks.Block(id)
 	if hit {
@@ -220,7 +323,7 @@ func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID,
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Accept-Ranges", "bytes")
 	w.Header().Set("Content-Length", fmt.Sprint(rng.n))
-	w.Header().Set("X-SCDN-Source", fmt.Sprint(n.cfg.Node))
+	w.Header().Set("X-SCDN-Source", n.srcID)
 	status := http.StatusOK
 	if isRange {
 		n.Metrics.RangeRequests.Inc()
@@ -228,7 +331,7 @@ func (n *Node) serveLocal(w http.ResponseWriter, id storage.DatasetID,
 		status = http.StatusPartialContent
 	}
 	w.WriteHeader(status)
-	written, _ := writeBlockRange(w, block, rng.off, rng.n)
+	written, _ := writeBlockRangeBuffered(w, block, rng.off, rng.n)
 	n.Metrics.LocalHits.Inc()
 	n.Metrics.BytesServed.Add(uint64(written))
 }
@@ -337,9 +440,22 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
-		// Drain a bounded amount so the connection can be reused.
-		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		drainBody(resp.Body)
 		return false, fmt.Errorf("server: peer %d returned %s", cand.Node, resp.Status)
+	}
+	// Pull-through spills the stream to the replica volume as it proxies
+	// (temp file + atomic rename on success), so the next local hit rides
+	// sendfile without re-deriving a single byte. Spill problems never
+	// fail the client's fetch: the spill is poisoned, aborted at the end,
+	// and counted.
+	var spill *storage.Spill
+	pullThrough := n.cfg.PullThrough && !isRange
+	if pullThrough && n.vol != nil && total <= n.vol.Quota() {
+		if sp, serr := n.vol.NewSpill(id); serr == nil {
+			spill = sp
+		} else {
+			n.Metrics.StoreSpillFailures.Inc()
+		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Accept-Ranges", "bytes")
@@ -351,9 +467,19 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 		status = http.StatusPartialContent
 	}
 	w.WriteHeader(status)
-	written, copyErr := io.Copy(w, resp.Body)
+	dst := io.Writer(w)
+	var spillW *bestEffortWriter
+	if spill != nil {
+		spillW = &bestEffortWriter{w: spill}
+		dst = io.MultiWriter(w, spillW)
+	}
+	written, copyErr := copyBuffered(dst, resp.Body)
 	n.Metrics.BytesServed.Add(uint64(written))
 	if copyErr != nil || written != rng.n {
+		if spill != nil {
+			spill.Abort()
+			n.Metrics.StoreSpillFailures.Inc()
+		}
 		n.Metrics.FetchFailures.Inc()
 		return true, copyErr
 	}
@@ -362,11 +488,55 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	} else {
 		n.Metrics.PeerHits.Inc()
 	}
+	if spill != nil {
+		if spillW.err != nil {
+			spill.Abort()
+			n.Metrics.StoreSpillFailures.Inc()
+		} else if err := spill.Commit(total); err != nil {
+			n.Metrics.StoreSpillFailures.Inc()
+		} else {
+			n.Metrics.StoreSpills.Inc()
+		}
+	}
 	// Pull-through only on full-body fetches: a stripe proves nothing
 	// about the rest of the dataset, so partial transfers never mint a
-	// replica record.
-	if n.cfg.PullThrough && !isRange {
+	// replica record. (The metadata registration below is what announces
+	// the replica; a failed spill just means the bytes get materialized
+	// from the generator on the next local hit.)
+	if pullThrough {
 		n.cachePulled(id, total)
 	}
 	return true, nil
+}
+
+// drainBodyLimit bounds how much of a failed peer response gets read
+// before close. Error envelopes are small JSON bodies, but a peer that
+// commits to a payload and then fails mid-flight can leave much more in
+// the pipe; reading up to 1 MiB keeps the connection reusable in every
+// realistic failure without letting a pathological peer pin this edge.
+const drainBodyLimit = 1 << 20
+
+// drainBody reads a response body to EOF (bounded) so the underlying
+// connection returns to the transport's idle pool instead of being torn
+// down — without this, every failed peer hop costs the next attempt a
+// TCP handshake.
+func drainBody(body io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainBodyLimit))
+}
+
+// bestEffortWriter forwards writes to w until the first error, then
+// swallows everything: the primary stream (the client response) must
+// never fail because a secondary sink (the disk spill) did.
+type bestEffortWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *bestEffortWriter) Write(p []byte) (int, error) {
+	if b.err == nil {
+		if _, err := b.w.Write(p); err != nil {
+			b.err = err
+		}
+	}
+	return len(p), nil
 }

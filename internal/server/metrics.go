@@ -85,6 +85,19 @@ type Metrics struct {
 	// SHA-256 chain entirely.
 	PayloadCacheHits   metrics.Counter
 	PayloadCacheMisses metrics.Counter
+	// Disk-backed store instrumentation. StoreDiskHits counts local
+	// fetches served from the replica volume via sendfile;
+	// StoreMaterializations / StoreMaterializedBytes count datasets (and
+	// their bytes) written to disk from the deterministic generator;
+	// StoreSpills counts pull-through streams committed to disk, and
+	// StoreSpillFailures the temp-file spills that could not start or
+	// commit (the serve falls back to the generated path, the fetch
+	// itself still succeeds).
+	StoreDiskHits          metrics.Counter
+	StoreMaterializations  metrics.Counter
+	StoreMaterializedBytes metrics.Counter
+	StoreSpills            metrics.Counter
+	StoreSpillFailures     metrics.Counter
 	// ReportedAccesses aggregates client-side access counts delivered
 	// via /v1/report (the Section V-A usage statistics).
 	ReportedAccesses metrics.Counter
@@ -126,6 +139,11 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_range_not_satisfiable_total", &m.RangeNotSatisfiable},
 		{"scdn_payload_cache_hits_total", &m.PayloadCacheHits},
 		{"scdn_payload_cache_misses_total", &m.PayloadCacheMisses},
+		{"scdn_store_disk_hits_total", &m.StoreDiskHits},
+		{"scdn_store_materialize_total", &m.StoreMaterializations},
+		{"scdn_store_materialize_bytes_total", &m.StoreMaterializedBytes},
+		{"scdn_store_spills_total", &m.StoreSpills},
+		{"scdn_store_spill_failures_total", &m.StoreSpillFailures},
 		{"scdn_reported_accesses_total", &m.ReportedAccesses},
 	}
 	for _, c := range counters {

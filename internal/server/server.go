@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -45,6 +46,13 @@ type Config struct {
 	// cached 4 KiB repetition blocks). Zero means
 	// DefaultBlockCacheBlocks.
 	BlockCacheBlocks int
+	// Volume, when non-nil, is the node's disk-backed replica volume:
+	// locally held datasets are materialized as real files (once, via
+	// the deterministic generator) and served through http.ServeContent
+	// so full bodies and single-part ranges ride the kernel's sendfile
+	// path, and pull-through caching spills the proxied stream straight
+	// to disk. Nil keeps the in-memory generated-payload path.
+	Volume *storage.DiskVolume
 	// Clock supplies the node's notion of elapsed time (repository
 	// recency, token expiry). Nil means wall time since Start.
 	Clock func() time.Duration
@@ -57,6 +65,9 @@ type Node struct {
 	catalog  *Catalog
 	registry *Registry
 	blocks   *BlockCache
+	vol      *storage.DiskVolume // nil in generated-payload mode
+	srcID    string              // X-SCDN-Source value, rendered once
+	srcHdr   []string            // the same value as a sharable header slice
 	Metrics  *Metrics
 
 	// repoMu serializes access to the repository, which is
@@ -100,8 +111,13 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 		catalog:  catalog,
 		registry: registry,
 		blocks:   NewBlockCache(cfg.BlockCacheBlocks),
+		vol:      cfg.Volume,
+		srcID:    strconv.FormatInt(int64(cfg.Node), 10),
+		srcHdr:   []string{strconv.FormatInt(int64(cfg.Node), 10)},
 		Metrics:  &Metrics{},
-		client:   &http.Client{Timeout: 30 * time.Second},
+		// Peer hops share the process-wide tuned transport: raised
+		// per-host idle pool, keep-alives on.
+		client: NewHTTPClient(30 * time.Second),
 	}
 	n.httpSrv = &http.Server{
 		Handler:           n.Handler(),
@@ -169,6 +185,10 @@ func (n *Node) Shutdown(ctx context.Context) error {
 	n.registry.SetOnline(n.cfg.Node, false)
 	return n.httpSrv.Shutdown(ctx)
 }
+
+// Volume returns the node's disk-backed replica volume (nil in
+// generated-payload mode).
+func (n *Node) Volume() *storage.DiskVolume { return n.vol }
 
 // RepoStats snapshots the node's repository statistics.
 func (n *Node) RepoStats() storage.Stats {

@@ -21,9 +21,15 @@ import (
 	"scdn/internal/storage"
 )
 
+// defaultClient drives stripes over the serving plane's shared tuned
+// transport (raised per-host idle pool, keep-alives) when the caller
+// supplies no client of their own.
+var defaultClient = server.NewHTTPClient(30 * time.Second)
+
 // Options parameterizes a striped fetch.
 type Options struct {
-	// Client issues the HTTP requests (required).
+	// Client issues the HTTP requests. Nil means a package-default client
+	// over the serving plane's shared tuned transport.
 	Client *http.Client
 	// Endpoints are candidate base URLs ("http://host:port"). Stripe i
 	// targets Endpoints[i mod len] — pass replica holders first (e.g.
@@ -69,7 +75,7 @@ type Result struct {
 // a short stripe can never masquerade as success.
 func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64) (Result, error) {
 	if opts.Client == nil {
-		return Result{}, fmt.Errorf("stripe: nil HTTP client")
+		opts.Client = defaultClient
 	}
 	if len(opts.Endpoints) == 0 {
 		return Result{}, fmt.Errorf("stripe: no endpoints")
@@ -134,6 +140,10 @@ func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64)
 	return res, nil
 }
 
+// drainLimit bounds how many bytes of an unwanted response body are read
+// before close; enough for any error payload the serving plane emits.
+const drainLimit = 1 << 20
+
 // fetchOne moves a single stripe, verifying and/or writing it as it
 // streams.
 func fetchOne(ctx context.Context, opts Options, id storage.DatasetID,
@@ -152,7 +162,10 @@ func fetchOne(ctx context.Context, opts Options, id storage.DatasetID,
 	defer resp.Body.Close()
 	src := resp.Header.Get("X-SCDN-Source")
 	if resp.StatusCode != http.StatusPartialContent {
-		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		// Drain the unwanted body to EOF (bounded) before close so the
+		// transport can return the connection to its idle pool instead of
+		// tearing it down — error bodies here are small (JSON or a 416).
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 		return 0, src, fmt.Errorf("status %s, want 206", resp.Status)
 	}
 	wantCR := fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, total)

@@ -128,13 +128,46 @@ func TestStripedFetchAuthRequired(t *testing.T) {
 
 func TestFetchValidation(t *testing.T) {
 	client := &http.Client{}
-	if _, err := Fetch(context.Background(), Options{Endpoints: []string{"x"}}, "d", 1); err == nil {
-		t.Fatal("nil client accepted")
-	}
 	if _, err := Fetch(context.Background(), Options{Client: client}, "d", 1); err == nil {
 		t.Fatal("no endpoints accepted")
 	}
 	if _, err := Fetch(context.Background(), Options{Client: client, Endpoints: []string{"x"}}, "d", 0); err == nil {
 		t.Fatal("zero size accepted")
+	}
+}
+
+func TestStripedFetchDiskStore(t *testing.T) {
+	lc, tok := startCluster(t, server.ClusterConfig{
+		Nodes: 3, Users: 1, Datasets: 3, StoreMode: server.StoreModeDir,
+	})
+	total := lc.Config.DatasetBytes
+	dst := &bufferAt{b: make([]byte, total)}
+
+	// Nil client: the package-default shared-transport client drives the
+	// stripes; every stripe rides the disk-backed sendfile path.
+	res, err := Fetch(context.Background(), Options{
+		Endpoints: lc.URLs(), Token: tok,
+		Stripes: 4, Verify: true, Dst: dst,
+	}, "ds-001", total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != total {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, total)
+	}
+	var want bytes.Buffer
+	if _, err := server.WritePayload(&want, "ds-001", total); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.b, want.Bytes()) {
+		t.Fatal("reassembled payload diverges from reference")
+	}
+	// At least one edge served stripes from its replica volume.
+	var diskHits uint64
+	for _, n := range lc.Nodes {
+		diskHits += n.Metrics.StoreDiskHits.Value()
+	}
+	if diskHits == 0 {
+		t.Fatal("no stripe was served from a disk volume")
 	}
 }
