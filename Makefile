@@ -1,11 +1,17 @@
 # Verify targets for the scdn repository.
 #
-#   make check   — the full gate: build, vet, unit tests, the -race
-#                  pass over the concurrent packages (metrics + the live
-#                  serving plane + striped fetch), and a 1-iteration
-#                  benchmark smoke so the bench harness cannot rot.
+#   make check   — the full gate: build, vet, the project lint suite,
+#                  unit tests, the -race pass over the concurrent
+#                  packages, a short native-fuzz smoke, and a
+#                  1-iteration benchmark smoke so the bench harness
+#                  cannot rot.
 #   make test    — tier-1 only (what CI has always run).
+#   make lint    — scdn-lint, the project-specific static-analysis
+#                  suite (bodydrain, lockio, metricname, atomiccopy,
+#                  ctxhttp); non-zero exit on any finding.
 #   make race    — just the -race pass.
+#   make fuzzsmoke — run each native fuzz target briefly against its
+#                  checked-in seed corpus.
 #   make bench   — the benchmark harness: delivery-plane micro-benchmarks
 #                  (catalog resolve, payload block cache, range writes,
 #                  disk vs generated serving) at GOMAXPROCS=4, the
@@ -18,19 +24,34 @@
 
 GO ?= go
 
-.PHONY: check test race vet bench benchsmoke loadgen
+.PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen
 
-check: vet test race benchsmoke
+check: vet lint test race fuzzsmoke benchsmoke
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
 
+lint:
+	$(GO) run ./cmd/scdn-lint ./...
+
 vet:
 	$(GO) vet ./...
 
+# Every package that spawns goroutines or holds sync/atomic state runs
+# under the race detector. Audited exclusions (no goroutines, no sync,
+# no atomics as of this writing): internal/cdnclient, internal/replication,
+# internal/sim, internal/transfer (single-threaded simulation code),
+# internal/lint (sequential analyzer driver), and the remaining pure
+# graph/model packages; cmd/ has no tests.
 race:
-	$(GO) test -race ./internal/metrics ./internal/server ./internal/storage ./internal/stripe
+	$(GO) test -race ./internal/allocation ./internal/metrics ./internal/middleware \
+		./internal/placement ./internal/server ./internal/socialnet \
+		./internal/storage ./internal/stripe
+
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRange$$' -fuzztime 5s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanStripes$$' -fuzztime 5s ./internal/stripe
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -cpu 4 ./...

@@ -1,0 +1,56 @@
+// Command scdn-lint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and exits non-zero on
+// any finding, making it usable as a CI/make gate.
+//
+// Usage:
+//
+//	scdn-lint [-list] [patterns...]
+//
+// Patterns default to ./... relative to the current directory's module.
+// Exit status: 0 clean, 1 findings, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scdn/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scdn-lint [-list] [patterns...]\n\npatterns default to ./...\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scdn-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scdn-lint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scdn-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

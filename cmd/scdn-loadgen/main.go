@@ -111,7 +111,11 @@ func main() {
 		fetchesPerRequest = *bytesPer
 	}
 
-	before := scrapeAll(urls)
+	// One run-scoped context flows through every outbound request, so a
+	// future interrupt/timeout hook has a single cancellation point.
+	ctx := context.Background()
+
+	before := scrapeAll(ctx, urls)
 
 	var (
 		issued, failed, resolves atomic.Uint64
@@ -132,7 +136,7 @@ func main() {
 			// without every worker growing a private pool.
 			client := server.NewHTTPClient(30 * time.Second)
 			user := userIDs[w%len(userIDs)]
-			tok, err := loginHTTP(client, urls[w%len(urls)], user)
+			tok, err := loginHTTP(ctx, client, urls[w%len(urls)], user)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "scdn-loadgen: worker %d login: %v\n", w, err)
 				failed.Add(1)
@@ -152,7 +156,7 @@ func main() {
 					// list names the holders the stripes fan out across.
 					issued.Add(1)
 					t0 := time.Now()
-					res, rerr := resolveHTTP(client, base, tok, string(ds))
+					res, rerr := resolveHTTP(ctx, client, base, tok, string(ds))
 					if rerr != nil {
 						lat.Observe(time.Since(t0).Seconds())
 						fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, rerr)
@@ -160,11 +164,11 @@ func main() {
 						continue
 					}
 					resolves.Add(1)
-					n, err = fetchStriped(client, res, urls, tok, ds, *bytesPer, *stripesN, *verify)
+					n, err = fetchStriped(ctx, client, res, urls, tok, ds, *bytesPer, *stripesN, *verify)
 					lat.Observe(time.Since(t0).Seconds())
 				} else {
 					if *resolveEach > 0 && i%int64(*resolveEach) == 0 {
-						if _, err := resolveHTTP(client, base, tok, string(ds)); err != nil {
+						if _, err := resolveHTTP(ctx, client, base, tok, string(ds)); err != nil {
 							fmt.Fprintf(os.Stderr, "scdn-loadgen: resolve %s: %v\n", ds, err)
 							failed.Add(1)
 							continue
@@ -173,7 +177,7 @@ func main() {
 					}
 					issued.Add(1)
 					t0 := time.Now()
-					n, err = fetchHTTP(client, base, tok, ds, *bytesPer, *verify)
+					n, err = fetchHTTP(ctx, client, base, tok, ds, *bytesPer, *verify)
 					lat.Observe(time.Since(t0).Seconds())
 				}
 				bytesRead.Add(n)
@@ -185,13 +189,13 @@ func main() {
 			}
 			// Closed loop done: report usage statistics like the paper's
 			// CDN client.
-			_ = reportHTTP(client, urls[w%len(urls)], tok, user, accesses)
+			_ = reportHTTP(ctx, client, urls[w%len(urls)], tok, user, accesses)
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeAll(urls)
+	after := scrapeAll(ctx, urls)
 	delta := diffScrapes(before, after)
 
 	s := lat.Summary()
@@ -305,14 +309,25 @@ func writeBenchRecord(path string, rec benchRecord) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-func loginHTTP(client *http.Client, base string, user int64) (string, error) {
+// drain reads the remainder of an unwanted response body to EOF
+// (bounded) before close, so the transport returns the connection to
+// its idle pool instead of tearing it down.
+func drain(r io.Reader) { _, _ = io.Copy(io.Discard, io.LimitReader(r, 1<<20)) }
+
+func loginHTTP(ctx context.Context, client *http.Client, base string, user int64) (string, error) {
 	body, _ := json.Marshal(server.LoginRequest{User: user})
-	resp, err := client.Post(base+"/v1/login", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/login", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drain(resp.Body)
 		return "", fmt.Errorf("login status %s", resp.Status)
 	}
 	var lr server.LoginResponse
@@ -322,10 +337,10 @@ func loginHTTP(client *http.Client, base string, user int64) (string, error) {
 	return lr.Token, nil
 }
 
-func resolveHTTP(client *http.Client, base, tok, dataset string) (server.ResolveResponse, error) {
+func resolveHTTP(ctx context.Context, client *http.Client, base, tok, dataset string) (server.ResolveResponse, error) {
 	var rr server.ResolveResponse
 	body, _ := json.Marshal(server.ResolveRequest{Dataset: dataset})
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/resolve", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/resolve", bytes.NewReader(body))
 	if err != nil {
 		return rr, err
 	}
@@ -336,6 +351,7 @@ func resolveHTTP(client *http.Client, base, tok, dataset string) (server.Resolve
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drain(resp.Body)
 		return rr, fmt.Errorf("resolve status %s", resp.Status)
 	}
 	return rr, json.NewDecoder(resp.Body).Decode(&rr)
@@ -343,9 +359,9 @@ func resolveHTTP(client *http.Client, base, tok, dataset string) (server.Resolve
 
 // fetchHTTP fetches a whole dataset, verifying the stream incrementally
 // (constant memory) when verify is set.
-func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
+func fetchHTTP(ctx context.Context, client *http.Client, base, tok string, ds storage.DatasetID,
 	wantBytes int64, verify bool) (int64, error) {
-	req, err := http.NewRequest(http.MethodGet, base+"/v1/fetch/"+string(ds), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/fetch/"+string(ds), nil)
 	if err != nil {
 		return 0, err
 	}
@@ -356,6 +372,7 @@ func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drain(resp.Body)
 		return 0, fmt.Errorf("status %s", resp.Status)
 	}
 	if verify {
@@ -367,7 +384,7 @@ func fetchHTTP(client *http.Client, base, tok string, ds storage.DatasetID,
 // fetchStriped fans the dataset out as parallel range requests across the
 // resolved replica holders (falling back to the whole edge set when the
 // holders expose fewer endpoints than stripes need).
-func fetchStriped(client *http.Client, res server.ResolveResponse, allURLs []string,
+func fetchStriped(ctx context.Context, client *http.Client, res server.ResolveResponse, allURLs []string,
 	tok string, ds storage.DatasetID, wantBytes int64, stripes int, verify bool) (int64, error) {
 	var endpoints []string
 	for _, rep := range res.Replicas {
@@ -382,7 +399,7 @@ func fetchStriped(client *http.Client, res server.ResolveResponse, allURLs []str
 			}
 		}
 	}
-	r, err := stripe.Fetch(context.Background(), stripe.Options{
+	r, err := stripe.Fetch(ctx, stripe.Options{
 		Client: client, Endpoints: endpoints, Token: tok,
 		Stripes: stripes, Verify: verify,
 	}, ds, wantBytes)
@@ -398,9 +415,9 @@ func contains(list []string, s string) bool {
 	return false
 }
 
-func reportHTTP(client *http.Client, base, tok string, user int64, accesses uint64) error {
+func reportHTTP(ctx context.Context, client *http.Client, base, tok string, user int64, accesses uint64) error {
 	body, _ := json.Marshal(server.ReportRequest{Client: user, Accesses: accesses})
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/report", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/report", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -409,16 +426,21 @@ func reportHTTP(client *http.Client, base, tok string, user int64, accesses uint
 	if err != nil {
 		return err
 	}
+	drain(resp.Body)
 	resp.Body.Close()
 	return nil
 }
 
 // scrapeAll sums plain counter lines from every node's /metrics.
-func scrapeAll(urls []string) map[string]uint64 {
+func scrapeAll(ctx context.Context, urls []string) map[string]uint64 {
 	out := make(map[string]uint64)
 	client := &http.Client{Timeout: 5 * time.Second}
 	for _, base := range urls {
-		resp, err := client.Get(base + "/metrics")
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			continue
 		}

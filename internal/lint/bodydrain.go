@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BodyDrain returns the bodydrain analyzer: every *http.Response body
+// obtained in a function must be closed on all paths, and a branch that
+// bails out while the body is still going to be read later must drain it
+// first — an undrained body tears down the TCP connection instead of
+// returning it to the transport's idle pool, so every failed peer hop
+// costs the next attempt a fresh handshake (the PR 3 connection-reuse
+// bug, made mechanical).
+func BodyDrain() *Analyzer {
+	a := &Analyzer{
+		Name: "bodydrain",
+		Doc:  "http.Response bodies must be closed on all paths and drained before early returns",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Packages {
+			if pkg.Info == nil {
+				continue
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						bodyDrainFunc(pass, pkg, body)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// respAssign is one statement binding a *http.Response variable.
+type respAssign struct {
+	stmt ast.Stmt
+	resp types.Object // the response variable
+	errv types.Object // the error bound alongside it, if any
+}
+
+// bodyDrainFunc analyzes one function body. Nested function literals are
+// analyzed separately for their own response variables, but their
+// contents still count when looking for Close/drain uses of an outer
+// response (deferred closers are closures).
+func bodyDrainFunc(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	var assigns []respAssign
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		// Only responses fresh off the wire: a *http.Response returned by
+		// a local helper is the helper's to close (its own client.Do
+		// binding is checked where it happens).
+		if len(as.Rhs) != 1 || !isHTTPIssuingCall(pkg, as.Rhs[0]) {
+			return
+		}
+		ra := respAssign{stmt: as}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if isHTTPResponsePtr(obj.Type()) {
+				ra.resp = obj
+			} else if isErrorType(obj.Type()) {
+				ra.errv = obj
+			}
+		}
+		if ra.resp != nil {
+			assigns = append(assigns, ra)
+		}
+	})
+	for _, ra := range assigns {
+		checkRespUsage(pass, pkg, body, ra)
+	}
+}
+
+// checkRespUsage enforces the two rules for one response binding:
+// a Close must exist (unless the response escapes), and any
+// bail-out branch positioned before a later read of the body must drain
+// it first.
+func checkRespUsage(pass *Pass, pkg *Package, body *ast.BlockStmt, ra respAssign) {
+	after := ra.stmt.End()
+	var (
+		closed  bool
+		escaped bool
+		// bodyUses are positions where <resp>.Body is referenced other
+		// than as the receiver of Close — reads, drains, decoder wraps.
+		bodyUses []token.Pos
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isSel(pkg, e.Fun, ra.resp, "Body", "Close") {
+				if e.Pos() > after {
+					closed = true
+				}
+				return false // don't count the Body selector inside as a use
+			}
+			// The whole response handed to another function (a helper may
+			// close it), returned, or stored: out of this function's hands.
+			for _, arg := range e.Args {
+				if usesObj(pkg, arg, ra.resp) && !selectsThroughObj(pkg, arg, ra.resp) && arg.Pos() > after {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if usesObj(pkg, r, ra.resp) && !selectsThroughObj(pkg, r, ra.resp) && r.Pos() > after {
+					escaped = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Body" && isObjIdent(pkg, e.X, ra.resp) && e.Pos() > after {
+				bodyUses = append(bodyUses, e.Pos())
+			}
+		}
+		return true
+	})
+	if !closed && !escaped {
+		pass.Reportf(pkg, ra.stmt.Pos(),
+			"response body is never closed on this path (leaks the connection)")
+	}
+	// Bail-out rule: an if-branch that returns while the body is read
+	// only after the branch must drain before returning, or the
+	// connection cannot go back to the idle pool.
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() < after {
+			return
+		}
+		if ra.errv != nil && exprMentionsObj(pkg, ifs.Cond, ra.errv) {
+			return // the err != nil branch: no response to drain
+		}
+		if !containsReturn(ifs.Body) {
+			return
+		}
+		// Is the body still going to be read after this branch?
+		laterRead := false
+		for _, p := range bodyUses {
+			if p > ifs.End() {
+				laterRead = true
+			}
+		}
+		if !laterRead {
+			return
+		}
+		// Does the branch itself touch the body (drain, read) or hand the
+		// response off?
+		branchTouches := false
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if se, ok := m.(*ast.SelectorExpr); ok && se.Sel.Name == "Body" && isObjIdent(pkg, se.X, ra.resp) {
+				branchTouches = true
+			}
+			return true
+		})
+		if branchTouches {
+			return
+		}
+		// Find the return to anchor the finding.
+		var retPos token.Pos
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if r, ok := m.(*ast.ReturnStmt); ok && retPos == token.NoPos {
+				retPos = r.Pos()
+			}
+			return true
+		})
+		if retPos == token.NoPos {
+			retPos = ifs.Pos()
+		}
+		pass.Reportf(pkg, retPos,
+			"early return leaves the response body undrained (read it to EOF — e.g. io.Copy(io.Discard, ...) — before returning, or the connection cannot be reused)")
+	})
+}
+
+// inspectSkipFuncLit walks n's subtree in lexical order, not descending
+// into nested function literals.
+func inspectSkipFuncLit(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		fn(m)
+		return true
+	})
+}
+
+// containsReturn reports whether the block contains a return statement
+// (not counting nested function literals).
+func containsReturn(b *ast.BlockStmt) bool {
+	found := false
+	inspectSkipFuncLit(b, func(n ast.Node) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// isHTTPIssuingCall reports whether e is a call that issues an HTTP
+// request and hands back the caller-owned response: a *http.Client
+// method or a net/http package function.
+func isHTTPIssuingCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return s.Recv().String() == "*net/http.Client"
+	}
+	if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "net/http"
+	}
+	return false
+}
+
+// isHTTPResponsePtr reports whether t is *net/http.Response.
+func isHTTPResponsePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Response" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// objOf resolves an expression to the object it names, if it is a bare
+// identifier (possibly parenthesized).
+func objOf(pkg *Package, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// isObjIdent reports whether e is a bare identifier naming obj.
+func isObjIdent(pkg *Package, e ast.Expr, obj types.Object) bool {
+	return objOf(pkg, e) == obj
+}
+
+// isSel reports whether e is the selector obj.<mid>.<last> (e.g.
+// resp.Body.Close).
+func isSel(pkg *Package, e ast.Expr, obj types.Object, mid, last string) bool {
+	outer, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || outer.Sel.Name != last {
+		return false
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != mid {
+		return false
+	}
+	return isObjIdent(pkg, inner.X, obj)
+}
+
+// usesObj reports whether obj's identifier appears anywhere in e.
+func usesObj(pkg *Package, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(pkg, id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// selectsThroughObj reports whether every appearance of obj in e is as
+// the base of a selector (resp.Body, resp.StatusCode) rather than the
+// bare value — passing resp.Body to io.Copy is a read, not an escape of
+// the response.
+func selectsThroughObj(pkg *Package, e ast.Expr, obj types.Object) bool {
+	bare := false
+	var walk func(n ast.Node, parentSel bool)
+	walk = func(n ast.Node, parentSel bool) {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			walk(v.X, true)
+		case *ast.Ident:
+			if objOf(pkg, v) == obj && !parentSel {
+				bare = true
+			}
+		case *ast.CallExpr:
+			walk(v.Fun, false)
+			for _, a := range v.Args {
+				walk(a, false)
+			}
+		case *ast.ParenExpr:
+			walk(v.X, parentSel)
+		case *ast.UnaryExpr:
+			walk(v.X, false)
+		case *ast.BinaryExpr:
+			walk(v.X, false)
+			walk(v.Y, false)
+		case *ast.IndexExpr:
+			walk(v.X, false)
+			walk(v.Index, false)
+		case *ast.StarExpr:
+			walk(v.X, false)
+		}
+	}
+	walk(e, false)
+	return !bare
+}
+
+// exprMentionsObj reports whether the expression references obj at all.
+func exprMentionsObj(pkg *Package, e ast.Expr, obj types.Object) bool {
+	return usesObj(pkg, e, obj)
+}

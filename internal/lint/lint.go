@@ -1,0 +1,195 @@
+// Package lint is the S-CDN's project-specific static-analysis suite:
+// a stdlib-only (go/ast, go/parser, go/types) multi-analyzer driver that
+// mechanically enforces invariants the serving plane has already paid to
+// learn — response bodies drained and closed so peer connections stay
+// reusable, no blocking I/O inside hot-lock critical sections, metric
+// names that reconcile, no by-value copies of lock-free structs, and
+// cancelable outbound requests. Each analyzer emits
+// "file:line:col: [name] message" findings; cmd/scdn-lint exits non-zero
+// on any hit, so `make lint` is a regression gate, not a report.
+//
+// A finding can be suppressed with an inline directive on the same line
+// or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without a recorded
+// justification is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked lint unit.
+type Package struct {
+	// Path is the import path ("scdn/internal/server"); external test
+	// packages carry their real name ("scdn/internal/server_test").
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types/Info may be partially populated if type checking hit errors;
+	// analyzers must tolerate missing entries.
+	Types *types.Package
+	Info  *types.Info
+
+	// ignores maps file name -> line -> analyzer names suppressed there.
+	ignores map[string]map[int]map[string]bool
+	// badDirectives are malformed //lint:ignore comments.
+	badDirectives []Diagnostic
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Global analyzers see every loaded package in a single pass (needed
+	// when the invariant spans packages, e.g. metric registration in one
+	// package and use in another); per-package analyzers run once per
+	// package.
+	Global bool
+	Run    func(*Pass)
+}
+
+// Pass is one analyzer execution over one or more packages.
+type Pass struct {
+	Analyzer *Analyzer
+	// Packages holds the packages under analysis: exactly one for
+	// per-package analyzers, all loaded packages for global ones.
+	Packages []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos inside pkg, honoring ignore
+// directives.
+func (p *Pass) Reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	position := pkg.Fset.Position(pos)
+	if pkg.ignoredAt(position.Filename, position.Line, p.Analyzer.Name) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (pkg *Package) ignoredAt(file string, line int, analyzer string) bool {
+	byLine, ok := pkg.ignores[file]
+	if !ok {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		if set, ok := byLine[l]; ok && (set[analyzer] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "//lint:ignore"
+
+// indexIgnores scans a package's comments for //lint:ignore directives,
+// recording well-formed ones and reporting malformed ones.
+func (pkg *Package) indexIgnores() {
+	pkg.ignores = make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					pkg.badDirectives = append(pkg.badDirectives, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				byLine := pkg.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					pkg.ignores[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				set[fields[0]] = true
+			}
+		}
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding, sorted by position. Malformed suppression directives are
+// included as "directive" findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, pkg.badDirectives...)
+	}
+	for _, a := range analyzers {
+		if a.Global {
+			pass := &Pass{Analyzer: a, Packages: pkgs}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Packages: []*Package{pkg}}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All returns the full analyzer suite in its default configuration.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BodyDrain(),
+		LockIO(),
+		MetricName(),
+		AtomicCopy(),
+		CtxHTTP(DefaultCtxHTTPPackages),
+	}
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages without any
+// dependency outside the standard library: module-local import paths are
+// resolved straight from the source tree, everything else (the standard
+// library) through go/importer's source importer. Loaded dependency
+// packages are memoized, so the expensive stdlib type-check is paid
+// once per process.
+type Loader struct {
+	Fset *token.FileSet
+
+	modPath string
+	root    string
+	std     types.Importer
+	pkgs    map[string]*types.Package // memoized non-test packages, by import path
+}
+
+// NewLoader builds a loader for the module rooted at or above dir
+// (located by walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+	}, nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Root returns the module's root directory.
+func (l *Loader) Root() string { return l.root }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module-local packages come from the
+// source tree (non-test files only, memoized), the rest from the
+// standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, _, _, err := l.checkDir(path, filepath.Join(l.root, rel), baseFiles)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// file-selection modes for checkDir.
+type fileMode int
+
+const (
+	baseFiles     fileMode = iota // non-test files only (dependency view)
+	unitFiles                     // non-test + in-package test files (lint view)
+	externalFiles                 // package foo_test files only
+)
+
+// checkDir parses the directory's files per mode and type-checks them as
+// one package. Type errors do not abort: the partially filled Info is
+// still useful to the analyzers, and a tree that builds under tier-1
+// should not produce any.
+func (l *Loader) checkDir(path, dir string, mode fileMode) (*types.Package, []*ast.File, *types.Info, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if mode == baseFiles && isTest {
+			continue
+		}
+		if mode == externalFiles && !isTest {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		external := strings.HasSuffix(f.Name.Name, "_test")
+		if mode == unitFiles && external {
+			continue
+		}
+		if mode == externalFiles && !external {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, nil
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // collect nothing; keep checking
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+// LoadPatterns expands Go-style package patterns ("./...", "./x/...",
+// "./internal/server") against the module tree and loads every matching
+// directory as lint units: the package including its in-package test
+// files, plus a separate unit for an external _test package when one
+// exists. testdata and hidden directories are never matched.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := l.matchDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, rel := range dirs {
+		path := l.modPath
+		if rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		dir := filepath.Join(l.root, rel)
+		pkg, err := l.loadUnit(path, dir, unitFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+		ext, err := l.loadUnit(path+"_test", dir, externalFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s [external test]: %w", path, err)
+		}
+		if ext != nil {
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+func (l *Loader) loadUnit(path, dir string, mode fileMode) (*Package, error) {
+	// For externalFiles, path already carries the "_test" suffix, so the
+	// external test package's import of the base package is not a cycle.
+	tpkg, files, info, err := l.checkDir(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	pkg.indexIgnores()
+	return pkg, nil
+}
+
+// matchDirs expands patterns to module-relative directories that contain
+// Go files, sorted and deduplicated.
+func (l *Loader) matchDirs(patterns []string) ([]string, error) {
+	type matcher struct {
+		prefix string // module-relative dir ("", "internal/server")
+		rec    bool
+	}
+	var ms []matcher
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		switch {
+		case p == "..." || p == "":
+			ms = append(ms, matcher{"", true})
+		case strings.HasSuffix(p, "/..."):
+			ms = append(ms, matcher{strings.TrimSuffix(p, "/..."), true})
+		default:
+			ms = append(ms, matcher{p, false})
+		}
+	}
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for _, m := range ms {
+			if m.rec {
+				if m.prefix == "" || rel == m.prefix || strings.HasPrefix(rel, m.prefix+"/") {
+					matched = true
+				}
+			} else if rel == m.prefix || (m.prefix == "" && rel == ".") {
+				matched = true
+			}
+		}
+		if !matched {
+			return nil
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				seen[rel] = true
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for rel := range seen {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricTokenRE extracts candidate metric names from string literals.
+var metricTokenRE = regexp.MustCompile(`scdn_[A-Za-z0-9_]*`)
+
+// metricSnakeRE is the legal shape of a metric name.
+var metricSnakeRE = regexp.MustCompile(`^scdn_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// derivedSuffixes are series the exposition derives from a registered
+// histogram base name.
+var derivedSuffixes = []string{"_count", "_mean"}
+
+// MetricName returns the metricname analyzer: every scdn_* metric string
+// literal must be snake_case, must be registered exactly once (a
+// registration is a literal inside a function named WriteExposition),
+// and every name used elsewhere — loadgen scrapes, tests, dashboards —
+// must match a registered name (or a _count/_mean series derived from
+// one). A metric name assembled by concatenation or a format verb is
+// reported as unverifiable rather than silently passed: the silent-typo
+// counter that breaks loadgen's metrics reconciliation is exactly the
+// bug this exists to stop. The analyzer is global — registrations in
+// internal/server must be visible when checking uses in cmd/.
+func MetricName() *Analyzer {
+	a := &Analyzer{
+		Name:   "metricname",
+		Doc:    "scdn_* metric literals: snake_case, registered once, every use matches a registration",
+		Global: true,
+	}
+	a.Run = runMetricName
+	return a
+}
+
+// metricLit is one scdn_* token found in a string literal.
+type metricLit struct {
+	pkg          *Package
+	pos          token.Pos
+	name         string
+	registration bool // inside WriteExposition
+	unverifiable bool // assembled by concatenation or a format verb
+}
+
+func runMetricName(pass *Pass) {
+	var lits []metricLit
+	for _, pkg := range pass.Packages {
+		if strings.HasSuffix(pkg.Path, "internal/lint") || strings.HasSuffix(pkg.Path, "internal/lint_test") {
+			// The analyzer's own regexes and diagnostic strings contain
+			// scdn_ fragments that are not metrics.
+			continue
+		}
+		for _, f := range pkg.Files {
+			collectMetricLits(pkg, f, &lits)
+		}
+	}
+	// Shape and verifiability first.
+	for _, l := range lits {
+		if l.unverifiable {
+			// A dynamic name is only a prefix; shape-checking it would
+			// double-report.
+			pass.Reportf(l.pkg, l.pos,
+				"metric name %q is built dynamically (concatenation or format verb); it cannot be verified against the registered set — use a complete literal", l.name)
+			continue
+		}
+		if !metricSnakeRE.MatchString(l.name) {
+			pass.Reportf(l.pkg, l.pos,
+				"metric name %q is not snake_case (want ^scdn_[a-z0-9]+(_[a-z0-9]+)*$)", l.name)
+		}
+	}
+	// Registration set + duplicate registrations.
+	registered := make(map[string]token.Pos)
+	haveRegistrations := false
+	for _, l := range lits {
+		if !l.registration || l.unverifiable {
+			continue
+		}
+		haveRegistrations = true
+		if _, dup := registered[l.name]; dup {
+			pass.Reportf(l.pkg, l.pos, "metric %q registered more than once in WriteExposition", l.name)
+			continue
+		}
+		registered[l.name] = l.pos
+	}
+	if !haveRegistrations {
+		// Linting a subset that holds no exposition: uses cannot be
+		// checked, and reporting them all would be noise.
+		return
+	}
+	for _, l := range lits {
+		if l.registration || l.unverifiable {
+			continue
+		}
+		if _, ok := registered[l.name]; ok {
+			continue
+		}
+		derivedOK := false
+		for _, suf := range derivedSuffixes {
+			if base, ok := strings.CutSuffix(l.name, suf); ok {
+				if _, ok := registered[base]; ok {
+					derivedOK = true
+					break
+				}
+			}
+		}
+		if !derivedOK {
+			pass.Reportf(l.pkg, l.pos,
+				"metric %q is not registered in any WriteExposition (typo? the exposition and this reader will silently disagree)", l.name)
+		}
+	}
+}
+
+// collectMetricLits walks one file, recording every scdn_* token in a
+// string literal together with its context.
+func collectMetricLits(pkg *Package, f *ast.File, out *[]metricLit) {
+	// Track enclosing function names and binary-+ parents with an
+	// explicit stack.
+	type frame struct {
+		node   ast.Node
+		inExpo bool
+		concat bool // literal sits under a string concatenation
+		format bool // literal is an argument of a *printf-style call
+	}
+	var stack []frame
+	inExpo := func() bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].inExpo {
+				return true
+			}
+		}
+		return false
+	}
+	underConcat := func() bool {
+		if len(stack) == 0 {
+			return false
+		}
+		return stack[len(stack)-1].concat
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fr := frame{node: n}
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			fr.inExpo = v.Name.Name == "WriteExposition"
+		case *ast.BinaryExpr:
+			fr.concat = v.Op == token.ADD
+		case *ast.BasicLit:
+			if v.Kind == token.STRING {
+				content, err := strconv.Unquote(v.Value)
+				if err != nil {
+					content = v.Value
+				}
+				for _, idx := range metricTokenRE.FindAllStringIndex(content, -1) {
+					name := content[idx[0]:idx[1]]
+					ml := metricLit{
+						pkg:          pkg,
+						pos:          v.Pos(),
+						name:         name,
+						registration: inExpo(),
+					}
+					// A token that runs to the end of a concatenated
+					// literal, or is immediately followed by a format
+					// verb, names only a prefix of the real metric.
+					if idx[1] == len(content) && underConcat() {
+						ml.unverifiable = true
+					}
+					if idx[1] < len(content) && content[idx[1]] == '%' {
+						ml.unverifiable = true
+					}
+					*out = append(*out, ml)
+				}
+			}
+		}
+		stack = append(stack, fr)
+		return true
+	})
+}

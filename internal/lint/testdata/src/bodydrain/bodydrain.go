@@ -1,0 +1,109 @@
+// Package bodydrain exercises the bodydrain analyzer: every fixture is
+// either a true positive (carrying a want comment) or a pattern the
+// analyzer must stay quiet on.
+package bodydrain
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// neverClosed binds a response and reads it but never closes it.
+func neverClosed(c *http.Client) error {
+	resp, err := c.Get("http://example.com") // want "never closed"
+	if err != nil {
+		return err
+	}
+	_, _ = io.ReadAll(resp.Body)
+	return nil
+}
+
+// closedHappy closes via defer — clean.
+func closedHappy(c *http.Client) error {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.ReadAll(resp.Body)
+	return nil
+}
+
+// earlyBail returns out of a status check with the body unread while a
+// later read exists: the connection cannot be reused.
+func earlyBail(c *http.Client) error {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status) // want "undrained"
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// drainedBail drains before the same bail-out — clean.
+func drainedBail(c *http.Client) error {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// closeHelper closes any response handed to it.
+func closeHelper(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// closedInDeferredHelper hands the whole response to a deferred helper
+// that closes it — clean (the response escapes this function's hands).
+func closedInDeferredHelper(c *http.Client) error {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	defer closeHelper(resp)
+	_, _ = io.ReadAll(resp.Body)
+	return nil
+}
+
+// returnedVar escapes the response to the caller — the caller owns the
+// close, clean here.
+func returnedVar(c *http.Client) (*http.Response, error) {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// helperResponse returns a response it already closed; the caller
+// binding it must NOT be flagged (only responses fresh off the wire
+// are tracked).
+func helperResponse(c *http.Client) *http.Response {
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return nil
+	}
+	closeHelper(resp)
+	return resp
+}
+
+func callsHelper(c *http.Client) string {
+	resp := helperResponse(c)
+	if resp == nil {
+		return ""
+	}
+	return resp.Status
+}

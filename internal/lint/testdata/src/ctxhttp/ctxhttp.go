@@ -1,0 +1,43 @@
+// Package ctxhttp exercises the ctxhttp analyzer: outbound requests in
+// a configured package must be built with a context.
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+)
+
+// plainGet uses the context-less client helper.
+func plainGet(c *http.Client) {
+	resp, err := c.Get("http://example.com") // want "http.Client.Get"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// plainNewRequest builds a request with no context.
+func plainNewRequest() {
+	req, _ := http.NewRequest(http.MethodGet, "http://example.com", nil) // want "http.NewRequest"
+	_ = req
+}
+
+// pkgGet uses the context-less package helper.
+func pkgGet() {
+	resp, err := http.Get("http://example.com") // want "http.Get builds"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// withCtx is the required shape — clean.
+func withCtx(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.com", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -1,0 +1,13 @@
+package ctxhttp
+
+import "net/http"
+
+// Test files are exempt from ctxhttp: they drive short-lived in-process
+// servers and need no cancellation plumbing. No want comments here — if
+// the analyzer reports this file, the harness fails.
+func helperInTest() {
+	resp, err := http.Get("http://example.com")
+	if err == nil {
+		resp.Body.Close()
+	}
+}

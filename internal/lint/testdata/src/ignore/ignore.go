@@ -1,0 +1,44 @@
+// Package ignore exercises //lint:ignore directive handling: justified
+// suppressions (same line or line above) are honored, a directive
+// naming a different analyzer suppresses nothing, and a directive
+// without a reason is itself a finding.
+package ignore
+
+import (
+	"sync"
+	"time"
+)
+
+type s struct{ mu sync.Mutex }
+
+// suppressed: a justified suppression on the line above is honored.
+func (x *s) suppressed() {
+	x.mu.Lock()
+	//lint:ignore lockio fixture: exercising the line-above suppression path
+	time.Sleep(time.Millisecond)
+	x.mu.Unlock()
+}
+
+// sameLine: a justified suppression on the same line is honored.
+func (x *s) sameLine() {
+	x.mu.Lock()
+	time.Sleep(time.Millisecond) //lint:ignore lockio fixture: same-line form
+	x.mu.Unlock()
+}
+
+// wrongAnalyzer: a directive naming a different analyzer suppresses
+// nothing; the sleep is still reported.
+func (x *s) wrongAnalyzer() {
+	x.mu.Lock()
+	//lint:ignore bodydrain fixture: wrong analyzer name
+	time.Sleep(2 * time.Millisecond)
+	x.mu.Unlock()
+}
+
+// malformed: a reason-less directive is a "directive" finding and
+// suppresses nothing; the sleep is still reported.
+func (x *s) malformed() {
+	x.mu.Lock()
+	time.Sleep(3 * time.Millisecond) //lint:ignore lockio
+	x.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package metricname exercises the metricname analyzer. The
+// WriteExposition function below is the fixture's registration site;
+// everything else is a reader.
+package metricname
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteExposition registers this fixture's metric names.
+func WriteExposition(w io.Writer) {
+	fmt.Fprintf(w, "scdn_good_total %d\n", 1)
+	fmt.Fprintf(w, "scdn_hist_seconds %f\n", 0.5)
+	fmt.Fprintf(w, "scdn_dup_total %d\n", 1)
+	fmt.Fprintf(w, "scdn_dup_total %d\n", 2)     // want "registered more than once"
+	fmt.Fprintf(w, "scdn_BadCase_total %d\n", 1) // want "not snake_case"
+}
+
+func readers() {
+	_ = "scdn_good_total"
+	_ = "scdn_hist_seconds_count" // derived histogram series — clean
+	_ = "scdn_hist_seconds_mean"  // derived histogram series — clean
+	_ = "scdn_typo_totl"          // want "not registered"
+	name := "scdn_req_" + "suffix" // want "built dynamically"
+	_ = name
+	_ = fmt.Sprintf("scdn_shard_%d_total", 3) // want "built dynamically"
+}

@@ -1,0 +1,48 @@
+package server
+
+import "testing"
+
+// FuzzParseRange holds parseRange to its contract under arbitrary Range
+// headers: accepted ranges are in-bounds and non-empty, the full-body
+// result only ever comes from an absent header, and re-rendering an
+// accepted range parses back to the same range (fixed point) — so a
+// stripe plan echoed through HTTP can never drift.
+func FuzzParseRange(f *testing.F) {
+	f.Add("", int64(4096))
+	f.Add("bytes=0-99", int64(8192))
+	f.Add("bytes=-256", int64(10000))
+	f.Add("bytes=100-", int64(512))
+	f.Add("bytes=5000-5000", int64(10000))
+	f.Add("bytes=0-10,20-30", int64(4096))
+	f.Add("bytes=9-5", int64(4096))
+	f.Add("bytes=-0", int64(4096))
+	f.Fuzz(func(t *testing.T, h string, total int64) {
+		if total < 0 {
+			t.Skip("dataset sizes are non-negative by construction")
+		}
+		r, partial, err := parseRange(h, total)
+		if err != nil {
+			return // rejected headers carry no further obligations
+		}
+		if !partial {
+			if h != "" {
+				t.Fatalf("parseRange(%q, %d) = full body for a present header", h, total)
+			}
+			if r.off != 0 || r.n != total {
+				t.Fatalf("parseRange(%q, %d) full body = {off %d, n %d}", h, total, r.off, r.n)
+			}
+			return
+		}
+		if r.off < 0 || r.n < 1 {
+			t.Fatalf("parseRange(%q, %d) = {off %d, n %d}: empty or negative", h, total, r.off, r.n)
+		}
+		if r.off+r.n < r.off || r.off+r.n > total {
+			t.Fatalf("parseRange(%q, %d) = {off %d, n %d}: out of bounds (or overflow)", h, total, r.off, r.n)
+		}
+		r2, partial2, err2 := parseRange(r.header(), total)
+		if err2 != nil || !partial2 || r2 != r {
+			t.Fatalf("parseRange(%q, %d) = %+v, but reparsing its header %q gave (%+v, %v, %v)",
+				h, total, r, r.header(), r2, partial2, err2)
+		}
+	})
+}

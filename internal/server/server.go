@@ -140,20 +140,29 @@ func (n *Node) now() time.Duration {
 // Start binds the listener, begins serving in a background goroutine,
 // and publishes the node's endpoint and liveness in the registry.
 func (n *Node) Start() error {
+	// Claim the started state first, then bind outside the mutex: a slow
+	// or hanging listen must not block BaseURL/Shutdown callers.
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.running {
+		n.mu.Unlock()
 		return errors.New("server: already started")
 	}
+	n.running = true
+	n.mu.Unlock()
 	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
 	if err != nil {
+		n.mu.Lock()
+		n.running = false
+		n.mu.Unlock()
 		return fmt.Errorf("server: listen %s: %w", n.cfg.ListenAddr, err)
 	}
+	baseURL := "http://" + ln.Addr().String()
+	n.mu.Lock()
 	n.ln = ln
 	n.started = time.Now()
-	n.baseURL = "http://" + ln.Addr().String()
-	n.running = true
-	n.registry.SetBaseURL(n.cfg.Node, n.baseURL)
+	n.baseURL = baseURL
+	n.mu.Unlock()
+	n.registry.SetBaseURL(n.cfg.Node, baseURL)
 	n.registry.SetOnline(n.cfg.Node, true)
 	go func() {
 		if err := n.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -32,6 +32,16 @@ type DiskVolume struct {
 	dir   string
 	quota int64
 
+	// fsMu serializes mutations of the data/ namespace: a commit's
+	// rename-into-place against eviction/removal unlinks of the same
+	// path. It is ordered before v.mu and is never taken on the serve
+	// path (Open/Release touch only v.mu), so disk latency under fsMu
+	// cannot stall readers.
+	fsMu sync.Mutex
+
+	// mu guards the index below and is held only for map/list work —
+	// never across file I/O, which the serving plane's hot path sits
+	// behind.
 	mu        sync.Mutex
 	ll        *list.List // front = most recently used
 	items     map[DatasetID]*list.Element
@@ -114,8 +124,9 @@ func (v *DiskVolume) recover() error {
 			continue
 		}
 		v.mu.Lock()
-		v.insertLocked(DatasetID(name), info.Size())
+		cs := v.insertLocked(DatasetID(name), info.Size())
 		v.mu.Unlock()
+		v.reap(cs) // adopted files may already exceed the quota
 	}
 	return nil
 }
@@ -189,12 +200,18 @@ func (v *DiskVolume) Open(id DatasetID) (f *os.File, size int64, ok bool) {
 	f, err := os.Open(v.path(id))
 	if err != nil {
 		// Evicted (unlinked) between the lookup and the open, or the
-		// file vanished under us: drop the stale entry.
+		// file vanished under us: drop the stale entry. fsMu first, so
+		// the reap below cannot unlink a replica a concurrent commit
+		// just renamed into place.
+		v.fsMu.Lock()
+		var cs []cleanup
 		v.mu.Lock()
 		if cur, still := v.items[id]; still && cur == el {
-			v.removeLocked(el)
+			cs = append(cs, v.removeLocked(el))
 		}
 		v.mu.Unlock()
+		v.reap(cs)
+		v.fsMu.Unlock()
 		return nil, 0, false
 	}
 	return f, size, true
@@ -225,47 +242,74 @@ func (v *DiskVolume) Release(id DatasetID, f *os.File) {
 // Remove deletes a committed replica (and closes its pooled handles).
 // Removing an absent dataset is a no-op.
 func (v *DiskVolume) Remove(id DatasetID) {
+	v.fsMu.Lock()
+	defer v.fsMu.Unlock()
+	var cs []cleanup
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if el, ok := v.items[id]; ok {
-		v.removeLocked(el)
+		cs = append(cs, v.removeLocked(el))
+	}
+	v.mu.Unlock()
+	v.reap(cs)
+}
+
+// cleanup is file I/O deferred out of a v.mu critical section: a path
+// to unlink and idle handles to close once the index lock is released.
+type cleanup struct {
+	path string
+	fds  []*os.File
+}
+
+// reap performs deferred cleanups. Callers must have released v.mu;
+// they hold fsMu whenever the unlinked path could race a commit's
+// rename (everywhere except construction-time recovery, which is
+// single-threaded).
+func (v *DiskVolume) reap(cs []cleanup) {
+	for _, c := range cs {
+		for _, f := range c.fds {
+			_ = f.Close()
+		}
+		_ = os.Remove(c.path)
 	}
 }
 
-// insertLocked records a committed file. Caller holds v.mu.
-func (v *DiskVolume) insertLocked(id DatasetID, size int64) {
+// insertLocked records a committed file and returns the deferred
+// cleanups of any entries evicted to make room. Caller holds v.mu.
+func (v *DiskVolume) insertLocked(id DatasetID, size int64) []cleanup {
 	el := v.ll.PushFront(&diskEntry{id: id, size: size})
 	v.items[id] = el
 	v.used += size
-	v.evictOverQuotaLocked(el)
+	return v.evictOverQuotaLocked(el)
 }
 
-// evictOverQuotaLocked unlinks least-recently-used replicas until the
-// volume fits its quota, never evicting keep.
-func (v *DiskVolume) evictOverQuotaLocked(keep *list.Element) {
+// evictOverQuotaLocked drops least-recently-used replicas from the
+// index until the volume fits its quota, never evicting keep. The file
+// I/O is returned as cleanups for the caller to perform after v.mu is
+// released.
+func (v *DiskVolume) evictOverQuotaLocked(keep *list.Element) []cleanup {
+	var cs []cleanup
 	for v.used > v.quota {
 		last := v.ll.Back()
 		if last == nil || last == keep {
-			return
+			break
 		}
-		v.removeLocked(last)
+		cs = append(cs, v.removeLocked(last))
 		v.evictions++
 	}
+	return cs
 }
 
-// removeLocked drops an entry: unlink the file, close pooled handles.
-// Handles currently out via Open stay valid — POSIX keeps the data
-// reachable through open descriptors after the unlink.
-func (v *DiskVolume) removeLocked(el *list.Element) {
+// removeLocked drops an entry from the index and returns the deferred
+// unlink/close work. Handles currently out via Open stay valid — POSIX
+// keeps the data reachable through open descriptors after the unlink.
+func (v *DiskVolume) removeLocked(el *list.Element) cleanup {
 	e := el.Value.(*diskEntry)
 	v.ll.Remove(el)
 	delete(v.items, e.id)
 	v.used -= e.size
-	for _, f := range e.fds {
-		_ = f.Close()
-	}
+	fds := e.fds
 	e.fds = nil
-	_ = os.Remove(v.path(e.id))
+	return cleanup{path: v.path(e.id), fds: fds}
 }
 
 // Spill is an in-flight write of one dataset's bytes into the volume: a
@@ -352,28 +396,40 @@ func (s *Spill) Commit(want int64) error {
 }
 
 // commit renames a completed temp file into the data directory and
-// indexes it.
+// indexes it. The rename and the index insert happen under fsMu (not
+// v.mu), so eviction unlinks cannot interleave with the publish, while
+// readers on v.mu never wait on the disk.
 func (v *DiskVolume) commit(id DatasetID, tmpPath string, size int64) error {
 	if size > v.quota {
 		_ = os.Remove(tmpPath)
 		return fmt.Errorf("storage: replica %q (%d bytes) exceeds volume quota %d", id, size, v.quota)
 	}
+	v.fsMu.Lock()
+	defer v.fsMu.Unlock()
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, dup := v.items[id]; dup {
+	_, dup := v.items[id]
+	v.mu.Unlock()
+	if dup {
 		// A racing spill/materialization committed first. Bytes are
 		// deterministic per dataset, so the existing file is identical;
 		// drop ours.
-		_ = os.Remove(tmpPath)
+		v.discardTmp(tmpPath)
 		return nil
 	}
+	//lint:ignore lockio fsMu's entire purpose is serializing this rename against eviction unlinks; it is never taken on the serve path (see the field comment)
 	if err := os.Rename(tmpPath, v.path(id)); err != nil {
-		_ = os.Remove(tmpPath)
+		v.discardTmp(tmpPath)
 		return fmt.Errorf("storage: commit %q: %w", id, err)
 	}
-	v.insertLocked(id, size)
+	v.mu.Lock()
+	cs := v.insertLocked(id, size)
+	v.mu.Unlock()
+	v.reap(cs)
 	return nil
 }
+
+// discardTmp disposes of a temp file that lost its commit.
+func (v *DiskVolume) discardTmp(tmpPath string) { _ = os.Remove(tmpPath) }
 
 // Materialize ensures the dataset's replica exists on disk, producing it
 // with fill (which must write exactly size bytes) when absent.

@@ -1,0 +1,79 @@
+package stripe
+
+import (
+	"math"
+	"testing"
+)
+
+// checkPlan asserts the planStripes contract: contiguous, non-empty,
+// non-overlapping ranges covering [0, total) exactly, at most
+// min(max(n,1), maxStripes) of them.
+func checkPlan(t *testing.T, total int64, n int, plan []stripeRange) {
+	t.Helper()
+	if total <= 0 {
+		if plan != nil {
+			t.Fatalf("planStripes(%d, %d) = %v, want nil", total, n, plan)
+		}
+		return
+	}
+	if len(plan) == 0 {
+		t.Fatalf("planStripes(%d, %d) planned nothing", total, n)
+	}
+	limit := n
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > maxStripes {
+		limit = maxStripes
+	}
+	if len(plan) > limit {
+		t.Fatalf("planStripes(%d, %d) planned %d stripes, limit %d", total, n, len(plan), limit)
+	}
+	var next, sum int64
+	for i, p := range plan {
+		if p.Offset != next {
+			t.Fatalf("planStripes(%d, %d): stripe %d starts at %d, want %d (gap or overlap)", total, n, i, p.Offset, next)
+		}
+		if p.Length < 1 {
+			t.Fatalf("planStripes(%d, %d): stripe %d has length %d", total, n, i, p.Length)
+		}
+		if p.Offset > total-p.Length {
+			t.Fatalf("planStripes(%d, %d): stripe %d = %+v runs past total", total, n, i, p)
+		}
+		next = p.Offset + p.Length
+		sum += p.Length
+	}
+	if sum != total {
+		t.Fatalf("planStripes(%d, %d): planned %d bytes, want %d", total, n, sum, total)
+	}
+}
+
+func TestPlanStripes(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+	}{
+		{0, 4}, {-5, 4}, {1, 1}, {1, 8}, {5, 10}, {100, 4},
+		{64 << 10, 4}, {64<<10 + 1, 4}, {7, 3},
+		{math.MaxInt64, 7}, {math.MaxInt64, 1}, {100, -2}, {100, 1 << 30},
+	}
+	for _, tc := range cases {
+		checkPlan(t, tc.total, tc.n, planStripes(tc.total, tc.n))
+	}
+}
+
+// FuzzPlanStripes drives the reassembly offset math with arbitrary
+// sizes and stripe counts; the overflow-prone ceiling division and the
+// clamp logic must always produce an exact, in-bounds cover.
+func FuzzPlanStripes(f *testing.F) {
+	f.Add(int64(1), 1)
+	f.Add(int64(100), 4)
+	f.Add(int64(64<<10), 4)
+	f.Add(int64(math.MaxInt64), 7)
+	f.Add(int64(math.MaxInt64), 1)
+	f.Add(int64(5), 10)
+	f.Add(int64(-1), 3)
+	f.Fuzz(func(t *testing.T, total int64, n int) {
+		checkPlan(t, total, n, planStripes(total, n))
+	})
+}

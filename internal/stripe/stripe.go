@@ -83,26 +83,15 @@ func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64)
 	if total <= 0 {
 		return Result{}, fmt.Errorf("stripe: non-positive dataset size %d", total)
 	}
-	stripes := opts.Stripes
-	if stripes < 1 {
-		stripes = 1
-	}
-	if int64(stripes) > total {
-		stripes = int(total)
-	}
-	chunk := (total + int64(stripes) - 1) / int64(stripes)
+	plan := planStripes(total, opts.Stripes)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	start := time.Now()
-	stats := make([]StripeStat, 0, stripes)
-	for off := int64(0); off < total; off += chunk {
-		length := chunk
-		if rem := total - off; rem < length {
-			length = rem
-		}
-		stats = append(stats, StripeStat{Offset: off, Length: length})
+	stats := make([]StripeStat, len(plan))
+	for i, p := range plan {
+		stats[i] = StripeStat{Offset: p.Offset, Length: p.Length}
 	}
 	var wg sync.WaitGroup
 	for i := range stats {
@@ -140,6 +129,48 @@ func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64)
 	return res, nil
 }
 
+// maxStripes caps the fan-out no matter what the caller asks for: past
+// a point more ranges only add request overhead, and an attacker-sized
+// stripe count must not size an allocation.
+const maxStripes = 1024
+
+// stripeRange is one planned byte range.
+type stripeRange struct {
+	Offset, Length int64
+}
+
+// planStripes splits [0, total) into at most n contiguous non-empty
+// ranges. It returns nil for non-positive totals, clamps n to
+// [1, maxStripes], never plans more ranges than bytes, and the ceiling
+// division is written to be overflow-safe at total == math.MaxInt64.
+func planStripes(total int64, n int) []stripeRange {
+	if total <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	if int64(n) > total {
+		n = int(total)
+	}
+	chunk := total / int64(n)
+	if total%int64(n) != 0 {
+		chunk++
+	}
+	plan := make([]stripeRange, 0, n)
+	for off := int64(0); off < total; off += chunk {
+		length := chunk
+		if rem := total - off; rem < length {
+			length = rem
+		}
+		plan = append(plan, stripeRange{Offset: off, Length: length})
+	}
+	return plan
+}
+
 // drainLimit bounds how many bytes of an unwanted response body are read
 // before close; enough for any error payload the serving plane emits.
 const drainLimit = 1 << 20
@@ -170,6 +201,9 @@ func fetchOne(ctx context.Context, opts Options, id storage.DatasetID,
 	}
 	wantCR := fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, total)
 	if cr := resp.Header.Get("Content-Range"); cr != wantCR {
+		// Same reasoning as above: drain before bailing so the connection
+		// survives for the retry this error will trigger.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 		return 0, src, fmt.Errorf("Content-Range %q, want %q", cr, wantCR)
 	}
 
