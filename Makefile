@@ -21,12 +21,34 @@
 #                  BENCH_delivery_generated.json.
 #   make loadgen — end-to-end networked benchmark: closed-loop load
 #                  against a 3-node in-process edge cluster over TCP.
+#   make ci      — what .github/workflows/check.yml runs: gofmt
+#                  cleanliness, module verification, then the full
+#                  check gate.
+#   make churnsmoke — fixed-seed churn acceptance: a dir-mode loadgen
+#                  run that kills and restarts two edges mid-stream and
+#                  must finish with zero failed requests and every
+#                  dataset repaired back to the replication floor
+#                  (writes BENCH_churn.json).
 
 GO ?= go
 
-.PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen
+.PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen \
+	ci fmtcheck modverify churnsmoke
 
 check: vet lint test race fuzzsmoke benchsmoke
+
+ci: fmtcheck modverify check
+
+# gofmt -l prints nothing when the tree is clean; any output fails the
+# gate.
+fmtcheck:
+	@out=$$(gofmt -l cmd internal); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+modverify:
+	$(GO) mod verify
 
 test:
 	$(GO) build ./...
@@ -66,3 +88,14 @@ benchsmoke:
 
 loadgen:
 	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 600
+
+# Fixed seed: the same two victims die on the same schedule every run,
+# so a repair regression reproduces instead of flaking. The run itself
+# exits non-zero on any unexplained failure or unrepaired dataset; the
+# greps pin the recorded outcome.
+churnsmoke:
+	$(GO) run ./cmd/scdn-loadgen -nodes 4 -workers 6 -requests 300 -store dir \
+		-churn 'kill=2,restart=2s,spacing=2s' -seed 7 -bench-out BENCH_churn.json
+	grep -q '"failed": 0' BENCH_churn.json
+	grep -q '"all_restarted": true' BENCH_churn.json
+	grep -q '"reconciled": true' BENCH_churn.json

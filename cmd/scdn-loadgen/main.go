@@ -17,7 +17,14 @@
 //	scdn-loadgen -nodes 5 -workers 32 -requests 10000 -pull-through
 //	scdn-loadgen -stripes 4                        # parallel striped range fetches
 //	scdn-loadgen -store dir                        # disk-backed volumes, sendfile delivery
+//	scdn-loadgen -churn 'kill=2,restart=5s'        # crash nodes mid-run; repair must heal
 //	scdn-loadgen -targets http://127.0.0.1:8001,http://127.0.0.1:8002 -datasets 12
+//
+// With -churn, the generator crashes live nodes on a schedule while the
+// workers keep fetching: failures that churn can explain are excused and
+// retried against surviving edges, everything else still fails the run,
+// and after the schedule finishes the run only passes if the background
+// repair sweepers have restored every dataset to the replication floor.
 package main
 
 import (
@@ -57,23 +64,50 @@ func main() {
 		verify      = flag.Bool("verify", true, "verify every payload in-stream, byte-for-byte")
 		benchOut    = flag.String("bench-out", "BENCH_delivery.json", "write a machine-readable benchmark record here (empty disables)")
 		store       = flag.String("store", "generated", "payload store for the in-process cluster: generated or dir")
+		churnFlag   = flag.String("churn", "", "inject node churn, e.g. 'kill=2,restart=5s' (in-process mode only)")
 	)
 	flag.Parse()
 
 	var (
-		urls       []string
-		datasetIDs []storage.DatasetID
-		userIDs    []int64
+		urls        []string
+		datasetIDs  []storage.DatasetID
+		userIDs     []int64
+		lc          *server.LocalCluster
+		churnRun    *server.ChurnRun
+		churnEvents []server.ChurnEvent
 	)
+	var churnSpec server.ChurnSpec
+	if *churnFlag != "" {
+		if *targets != "" {
+			fatal(fmt.Errorf("-churn drives the in-process cluster; it cannot be combined with -targets"))
+		}
+		var err error
+		if churnSpec, err = server.ParseChurnSpec(*churnFlag); err != nil {
+			fatal(err)
+		}
+		if *stripesN > 1 {
+			fmt.Println("scdn-loadgen: churn mode forces -stripes 1")
+			*stripesN = 1
+		}
+		// Resolve-before-fetch is noise under churn (a resolve can 503
+		// while holders are dead); the fetch path's own retries are the
+		// experiment.
+		*resolveEach = 0
+	}
 	// payloadMode lands in the benchmark record so perf runs in the two
 	// store modes stay distinguishable; against an external cluster the
 	// mode is whatever scdn-serve chose, recorded as "targets".
 	payloadMode := *store
+	// The loadgen pins the sweeper's replication floor explicitly so the
+	// post-churn acceptance check below tests against the same number.
+	const replicationTarget = 2
 	if *targets == "" {
-		lc, err := server.StartLocalCluster(server.ClusterConfig{
+		var err error
+		lc, err = server.StartLocalCluster(server.ClusterConfig{
 			Nodes: *nodes, Users: *workers, Datasets: *datasets,
 			DatasetBytes: *bytesPer, Seed: *seed, PullThrough: *pullThrough,
 			StoreMode: *store,
+			Sweep:     server.SweeperConfig{ReplicationTarget: replicationTarget},
 		})
 		if err != nil {
 			fatal(err)
@@ -90,6 +124,11 @@ func main() {
 		}
 		fmt.Printf("scdn-loadgen: started %d-node in-process cluster on loopback TCP (store: %s)\n",
 			*nodes, *store)
+		if *churnFlag != "" {
+			churnEvents = churnSpec.Events(*nodes, *seed)
+			churnRun = server.StartChurn(lc, churnEvents)
+			fmt.Printf("scdn-loadgen: churn schedule: %d events (%s)\n", len(churnEvents), *churnFlag)
+		}
 	} else {
 		payloadMode = "targets"
 		urls = strings.Split(*targets, ",")
@@ -119,11 +158,46 @@ func main() {
 
 	var (
 		issued, failed, resolves atomic.Uint64
+		excused                  atomic.Uint64
 		bytesRead                atomic.Int64
 		next                     atomic.Int64
 		lat                      server.LatencyHist
 		wg                       sync.WaitGroup
 	)
+	// Churn-mode retry policy: a request that fails while churn can
+	// explain it (a member down, or a transition within the grace window)
+	// is re-issued against a live edge instead of counting as a failure.
+	// The budget outlasts kill + detection + restart comfortably.
+	const (
+		churnRetryLimit = 60
+		churnRetryDelay = 250 * time.Millisecond
+		churnGrace      = 10 * time.Second
+	)
+	// Pace churn-mode workers so the request stream spans the whole churn
+	// schedule — an unpaced loopback run finishes in milliseconds and the
+	// kills would land on an idle cluster, proving nothing.
+	var churnPace time.Duration
+	if churnRun != nil && len(churnEvents) > 0 && *requests > 0 {
+		span := churnEvents[len(churnEvents)-1].At + 2*time.Second
+		churnPace = span * time.Duration(*workers) / time.Duration(*requests)
+	}
+	// pickBase chooses a fetch target; under churn, a currently-running
+	// node (restarted members listen on fresh ports).
+	pickBase := func(rng *rand.Rand) string {
+		if churnRun == nil {
+			return urls[rng.Intn(len(urls))]
+		}
+		var live []string
+		for _, nd := range lc.Nodes {
+			if nd.Running() {
+				live = append(live, nd.BaseURL())
+			}
+		}
+		if len(live) == 0 {
+			return urls[rng.Intn(len(urls))]
+		}
+		return live[rng.Intn(len(live))]
+	}
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -148,8 +222,11 @@ func main() {
 				if i > int64(*requests) {
 					break
 				}
+				if churnPace > 0 {
+					time.Sleep(churnPace)
+				}
 				ds := datasetIDs[rng.Intn(len(datasetIDs))]
-				base := urls[rng.Intn(len(urls))]
+				base := pickBase(rng)
 				var n int64
 				if *stripesN > 1 {
 					// Striped mode resolves first: the response's replica
@@ -180,6 +257,14 @@ func main() {
 					n, err = fetchHTTP(ctx, client, base, tok, ds, *bytesPer, *verify)
 					lat.Observe(time.Since(t0).Seconds())
 				}
+				if err != nil && churnRun != nil {
+					for attempt := 0; attempt < churnRetryLimit && err != nil && churnRun.Active(churnGrace); attempt++ {
+						excused.Add(1)
+						time.Sleep(churnRetryDelay)
+						base = pickBase(rng)
+						n, err = fetchHTTP(ctx, client, base, tok, ds, *bytesPer, *verify)
+					}
+				}
 				bytesRead.Add(n)
 				accesses++
 				if err != nil {
@@ -194,6 +279,40 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Under churn, let the schedule finish (late restarts), then require
+	// the repair sweepers to bring every dataset back to the replication
+	// floor before judging the run.
+	var churnSum server.ChurnSummary
+	repairOK := true
+	if churnRun != nil {
+		churnRun.Wait()
+		churnSum = churnRun.Summary()
+		want := replicationTarget
+		if live := lc.LiveNodes(); live < want {
+			want = live
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			bad := 0
+			for _, st := range lc.ReplicationStatus() {
+				if st.Live < want {
+					bad++
+				}
+			}
+			if bad == 0 {
+				fmt.Printf("post-churn repair: every dataset at >= %d live replicas\n", want)
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Printf("post-churn repair incomplete: %d datasets below %d live replicas\n", bad, want)
+				repairOK = false
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		urls = lc.URLs() // restarted members listen on fresh ports
+	}
 
 	after := scrapeAll(ctx, urls)
 	delta := diffScrapes(before, after)
@@ -221,26 +340,69 @@ func main() {
 		delta["scdn_range_requests_total"], delta["scdn_fetch_latency_seconds_count"])
 	fmt.Printf("payload-block cache: %d hits / %d misses (%.1f%% hit rate)\n",
 		cacheHits, cacheMisses, hitRate*100)
+	if churnRun != nil {
+		fmt.Printf("churn: kills=%d stops=%d restarts=%d still-down=%d excused-failures=%d\n",
+			churnSum.Kills, churnSum.Stops, churnSum.Restarts, churnSum.Down, excused.Load())
+		fmt.Printf("repair delta: sweeps=%d dead=%d readmitted=%d restored=%d readopted=%d failures=%d churn-503=%d suspect-probes=%d\n",
+			delta["scdn_repair_sweeps_total"], delta["scdn_repair_dead_members_total"],
+			delta["scdn_repair_readmissions_total"], delta["scdn_repair_replicas_restored_total"],
+			delta["scdn_repair_readopted_replicas_total"], delta["scdn_repair_failures_total"],
+			delta["scdn_churn_unavailable_total"], delta["scdn_probe_failures_total"])
+	}
 
 	wantFetches := issued.Load() * uint64(fetchesPerRequest)
 	ok := true
 	if failed.Load() != 0 {
 		ok = false
 	}
-	if delta["scdn_fetch_requests_total"] != wantFetches {
-		fmt.Printf("metrics mismatch: cluster saw %d fetches, loadgen issued %d (%d × %d stripes)\n",
-			delta["scdn_fetch_requests_total"], wantFetches, issued.Load(), fetchesPerRequest)
-		ok = false
-	}
-	if delta["scdn_fetch_latency_seconds_count"] != wantFetches {
-		fmt.Printf("metrics mismatch: cluster recorded %d latency samples, want %d\n",
-			delta["scdn_fetch_latency_seconds_count"], wantFetches)
-		ok = false
-	}
-	if delta["scdn_fetch_failures_total"] != 0 {
-		fmt.Printf("metrics mismatch: cluster recorded %d fetch failures\n",
-			delta["scdn_fetch_failures_total"])
-		ok = false
+	if churnRun == nil {
+		if delta["scdn_fetch_requests_total"] != wantFetches {
+			fmt.Printf("metrics mismatch: cluster saw %d fetches, loadgen issued %d (%d × %d stripes)\n",
+				delta["scdn_fetch_requests_total"], wantFetches, issued.Load(), fetchesPerRequest)
+			ok = false
+		}
+		if delta["scdn_fetch_latency_seconds_count"] != wantFetches {
+			fmt.Printf("metrics mismatch: cluster recorded %d latency samples, want %d\n",
+				delta["scdn_fetch_latency_seconds_count"], wantFetches)
+			ok = false
+		}
+		if delta["scdn_fetch_failures_total"] != 0 {
+			fmt.Printf("metrics mismatch: cluster recorded %d fetch failures\n",
+				delta["scdn_fetch_failures_total"])
+			ok = false
+		}
+	} else {
+		// Exact fetch-count reconciliation is impossible when requests die
+		// mid-flight with their server; instead every failure must be
+		// explained. Client side: zero unexcused failures (checked above).
+		// Server side: fetch failures can only be churn casualties, so
+		// they are bounded by the client's excused retries.
+		for _, e := range churnSum.Errs {
+			fmt.Println("churn event error:", e)
+			ok = false
+		}
+		if !repairOK {
+			ok = false
+		}
+		if delta["scdn_fetch_failures_total"] > excused.Load() {
+			fmt.Printf("metrics mismatch: %d cluster fetch failures exceed %d churn-excused client failures\n",
+				delta["scdn_fetch_failures_total"], excused.Load())
+			ok = false
+		}
+		if churnSum.AllRestarted {
+			// With every member back, the churn counters are fully
+			// scrapeable and must match the schedule exactly.
+			if delta["scdn_churn_kills_total"] != uint64(churnSum.Kills) {
+				fmt.Printf("metrics mismatch: cluster counted %d kills, churn injected %d\n",
+					delta["scdn_churn_kills_total"], churnSum.Kills)
+				ok = false
+			}
+			if delta["scdn_churn_restarts_total"] != uint64(churnSum.Restarts) {
+				fmt.Printf("metrics mismatch: cluster counted %d restarts, churn applied %d\n",
+					delta["scdn_churn_restarts_total"], churnSum.Restarts)
+				ok = false
+			}
+		}
 	}
 	if *benchOut != "" {
 		if err := writeBenchRecord(*benchOut, benchRecord{
@@ -258,6 +420,7 @@ func main() {
 			CacheHitRate:  hitRate,
 			RangeRequests: delta["scdn_range_requests_total"],
 			Reconciled:    ok,
+			Churn:         churnBenchInfo(churnRun != nil, *churnFlag, churnSum, excused.Load(), delta),
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "scdn-loadgen: bench-out: %v\n", err)
 			ok = false
@@ -292,6 +455,41 @@ type benchRecord struct {
 	CacheHitRate    float64   `json:"payload_cache_hit_rate"`
 	RangeRequests   uint64    `json:"range_requests"`
 	Reconciled      bool      `json:"reconciled"`
+	// Churn is present only for churn-mode runs.
+	Churn *benchChurn `json:"churn,omitempty"`
+}
+
+// benchChurn records a churn run's self-healing outcome in the
+// benchmark artifact.
+type benchChurn struct {
+	Spec             string `json:"spec"`
+	Kills            int    `json:"kills"`
+	Restarts         int    `json:"restarts"`
+	AllRestarted     bool   `json:"all_restarted"`
+	ExcusedFailures  uint64 `json:"excused_failures"`
+	DeadMembers      uint64 `json:"repair_dead_members"`
+	Readmissions     uint64 `json:"repair_readmissions"`
+	ReplicasRestored uint64 `json:"repair_replicas_restored"`
+	Churn503s        uint64 `json:"churn_unavailable"`
+}
+
+// churnBenchInfo shapes the optional churn section of the record.
+func churnBenchInfo(ran bool, spec string, sum server.ChurnSummary, excused uint64,
+	delta map[string]uint64) *benchChurn {
+	if !ran {
+		return nil
+	}
+	return &benchChurn{
+		Spec:             spec,
+		Kills:            sum.Kills,
+		Restarts:         sum.Restarts,
+		AllRestarted:     sum.AllRestarted,
+		ExcusedFailures:  excused,
+		DeadMembers:      delta["scdn_repair_dead_members_total"],
+		Readmissions:     delta["scdn_repair_readmissions_total"],
+		ReplicasRestored: delta["scdn_repair_replicas_restored_total"],
+		Churn503s:        delta["scdn_churn_unavailable_total"],
+	}
 }
 
 type latencyMS struct {

@@ -10,6 +10,13 @@
 //	scdn-serve -nodes 5 -datasets 30 -pull-through
 //	scdn-serve -store dir              # disk-backed replica volumes, sendfile delivery
 //	scdn-serve -host 0.0.0.0           # reachable off-box
+//	scdn-serve -churn-script churn.txt # scripted node churn (see below)
+//
+// A churn script injects membership failures on a schedule, one event
+// per line — "<offset> <action> <node>", actions kill/stop/restart:
+//
+//	2s  kill    2
+//	7s  restart 2
 //
 // Drive it with scdn-loadgen, or by hand:
 //
@@ -47,8 +54,24 @@ func main() {
 		store       = flag.String("store", "generated", "payload store: generated (in-memory synthesis) or dir (disk-backed replica volumes, sendfile delivery)")
 		storeDir    = flag.String("store-dir", "", "root directory for dir-mode replica volumes (empty: temp dir, removed on shutdown)")
 		storeQuota  = flag.Int64("store-quota", 0, "per-node replica volume byte quota in dir mode (0: replica reserve)")
+		churnFile   = flag.String("churn-script", "", "churn script file: one '<offset> <action> <node>' per line (kill/stop/restart)")
 	)
 	flag.Parse()
+
+	var churnEvents []server.ChurnEvent
+	if *churnFile != "" {
+		f, err := os.Open(*churnFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scdn-serve:", err)
+			os.Exit(1)
+		}
+		churnEvents, err = server.ParseChurnScript(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scdn-serve:", err)
+			os.Exit(1)
+		}
+	}
 
 	lc, err := server.StartLocalCluster(server.ClusterConfig{
 		Nodes: *nodes, Sites: *sites, CatalogServers: *catalog,
@@ -74,10 +97,22 @@ func main() {
 	fmt.Printf("  users:    %d .. %d\n", lc.UserIDs[0], lc.UserIDs[len(lc.UserIDs)-1])
 	fmt.Println("serving — ctrl-c to stop")
 
+	var churn *server.ChurnRun
+	if len(churnEvents) > 0 {
+		churn = server.StartChurn(lc, churnEvents)
+		fmt.Printf("scdn-serve: churn script armed: %d events from %s\n", len(churnEvents), *churnFile)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
+	if churn != nil {
+		churn.Cancel()
+		s := churn.Summary()
+		fmt.Printf("\nscdn-serve: churn applied: kills=%d stops=%d restarts=%d still-down=%d\n",
+			s.Kills, s.Stops, s.Restarts, s.Down)
+	}
 	fmt.Println("\nscdn-serve: draining...")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

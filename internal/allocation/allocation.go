@@ -228,9 +228,12 @@ type HotDataset struct {
 	Replicas int
 }
 
-// MaintenanceSweep returns datasets needing another replica and resets
-// demand counters. The caller (the core) performs the actual placement
-// and transfer, then calls AddReplica.
+// MaintenanceSweep returns datasets needing another replica. It is
+// read-only: demand counters survive until the caller acknowledges them
+// with AckSweep, so a sweeper that crashes between observing the
+// recommendations and acting on them drops no repair work — the next
+// sweep sees the same (or higher) demand. The caller performs the
+// actual placement and transfer, calls AddReplica, then AckSweep.
 func (s *Server) MaintenanceSweep() []HotDataset {
 	var hot []HotDataset
 	ids := make([]storage.DatasetID, 0, len(s.catalog))
@@ -243,9 +246,26 @@ func (s *Server) MaintenanceSweep() []HotDataset {
 		if e.accesses >= s.DemandThreshold && len(e.replicas) < s.MaxReplicas {
 			hot = append(hot, HotDataset{ID: id, Accesses: e.accesses, Replicas: len(e.replicas)})
 		}
-		e.accesses = 0
 	}
 	return hot
+}
+
+// AckSweep acknowledges handled sweep recommendations: each entry's
+// observed demand is subtracted from the dataset's counter, so accesses
+// that arrived between the sweep and the acknowledgment are not lost.
+// Unknown datasets are skipped.
+func (s *Server) AckSweep(hot []HotDataset) {
+	for _, h := range hot {
+		e, ok := s.catalog[h.ID]
+		if !ok {
+			continue
+		}
+		if e.accesses >= h.Accesses {
+			e.accesses -= h.Accesses
+		} else {
+			e.accesses = 0
+		}
+	}
 }
 
 // Datasets returns all catalogued dataset IDs sorted ascending.

@@ -166,9 +166,47 @@ func TestMaintenanceSweep(t *testing.T) {
 	if len(hot) != 1 || hot[0].ID != "hot" || hot[0].Accesses != 5 {
 		t.Fatalf("sweep = %+v", hot)
 	}
-	// Counters reset: immediate second sweep is empty.
-	if hot := s.MaintenanceSweep(); len(hot) != 0 {
-		t.Fatalf("second sweep = %+v", hot)
+	// The sweep is read-only: until the caller acknowledges the
+	// recommendations, a second sweep repeats them (a crashed sweeper
+	// drops no repair work).
+	if again := s.MaintenanceSweep(); len(again) != 1 || again[0].ID != "hot" {
+		t.Fatalf("unacked second sweep = %+v, want the same recommendation", again)
+	}
+	s.AckSweep(hot)
+	if acked := s.MaintenanceSweep(); len(acked) != 0 {
+		t.Fatalf("post-ack sweep = %+v, want empty", acked)
+	}
+}
+
+// TestMaintenanceSweepAckKeepsNewDemand checks the two-phase contract:
+// accesses that arrive between the sweep and its acknowledgment are not
+// lost — the ack subtracts only the demand the sweep observed.
+func TestMaintenanceSweepAckKeepsNewDemand(t *testing.T) {
+	s, _ := setupServer(t)
+	s.DemandThreshold = 3
+	s.RegisterDataset("d", 1, 100)
+	for i := 0; i < 4; i++ {
+		s.Resolve("d", 5)
+	}
+	hot := s.MaintenanceSweep()
+	if len(hot) != 1 || hot[0].Accesses != 4 {
+		t.Fatalf("sweep = %+v", hot)
+	}
+	// Demand keeps arriving while the sweeper is placing the replica.
+	for i := 0; i < 3; i++ {
+		s.Resolve("d", 5)
+	}
+	s.AckSweep(hot)
+	// The three post-sweep accesses survived the ack and cross the
+	// threshold on their own.
+	if again := s.MaintenanceSweep(); len(again) != 1 || again[0].Accesses != 3 {
+		t.Fatalf("post-ack sweep = %+v, want 3 surviving accesses", again)
+	}
+	// Acking an entry recorded with more accesses than remain (or an
+	// unknown dataset) clamps at zero instead of wrapping.
+	s.AckSweep([]HotDataset{{ID: "d", Accesses: 99}, {ID: "ghost", Accesses: 1}})
+	if final := s.MaintenanceSweep(); len(final) != 0 {
+		t.Fatalf("over-acked sweep = %+v, want empty", final)
 	}
 }
 

@@ -193,25 +193,29 @@ func (c *Cluster) Datasets() ([]storage.DatasetID, error) {
 	return s.Datasets(), nil
 }
 
-// MaintenanceSweep runs on every live member but returns one member's
-// recommendations (they are identical across a consistent cluster);
-// running on all members keeps their demand counters aligned.
+// MaintenanceSweep returns one live member's recommendations (they are
+// identical across a consistent cluster). The sweep is read-only:
+// demand counters are only consumed by AckSweep, so a caller that dies
+// between sweeping and repairing loses nothing.
 func (c *Cluster) MaintenanceSweep() ([]HotDataset, error) {
-	var out []HotDataset
-	got := false
 	for i, s := range c.servers {
 		if c.down[i] {
 			continue
 		}
-		hot := s.MaintenanceSweep()
-		if !got {
-			out, got = hot, true
+		return s.MaintenanceSweep(), nil
+	}
+	return nil, fmt.Errorf("allocation: no live allocation server")
+}
+
+// AckSweep acknowledges handled sweep recommendations on every live
+// member, keeping their demand counters aligned.
+func (c *Cluster) AckSweep(hot []HotDataset) {
+	for i, s := range c.servers {
+		if c.down[i] {
+			continue
 		}
+		s.AckSweep(hot)
 	}
-	if !got {
-		return nil, fmt.Errorf("allocation: no live allocation server")
-	}
-	return out, nil
 }
 
 // SetPolicy applies replica-budget and demand-threshold settings to every

@@ -83,6 +83,14 @@ func TestClusterDemandReplication(t *testing.T) {
 	if len(hot) != 1 || hot[0].ID != "d" || hot[0].Accesses != 6 {
 		t.Fatalf("sweep = %+v (demand not replicated across members)", hot)
 	}
+	// AckSweep reaches every live member: after the ack, each server's
+	// own sweep is empty.
+	c.AckSweep(hot)
+	for i, s := range c.servers {
+		if again := s.MaintenanceSweep(); len(again) != 0 {
+			t.Fatalf("server %d post-ack sweep = %+v, want empty", i, again)
+		}
+	}
 }
 
 func TestClusterSurvivesOutage(t *testing.T) {

@@ -633,6 +633,9 @@ func (s *SCDN) maintain() {
 	for _, h := range hot {
 		_, _ = s.PlaceReplicas(h.ID, 1)
 	}
+	// Placement attempted for every recommendation (success or not):
+	// acknowledge the observed demand so the next sweep starts fresh.
+	s.Cluster.AckSweep(hot)
 	if s.Config.MigrationUptimeFloor > 0 {
 		s.migrateWeakReplicas()
 	}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefaultGoroutineLeakPackages are the packages whose background
+// goroutines must be tied to a lifecycle: the serving plane runs
+// long-lived loops (repair sweepers, churn schedulers, accept loops)
+// whose nodes stop and restart, so a goroutine nothing can cancel keeps
+// probing peers from the grave. Test files are exempt — their goroutines
+// die with the test binary.
+var DefaultGoroutineLeakPackages = []string{
+	"scdn/internal/server",
+}
+
+// GoroutineLeak returns the goroutineleak analyzer for the given package
+// list. A `go` statement is accepted when the launched function is
+// observably stoppable: it receives a context.Context (argument or
+// captured), waits on a channel or select, or is an http.Server serve
+// call (terminated by Shutdown/Close). Everything else is reported —
+// a goroutine with no stop signal outlives the component that spawned
+// it.
+func GoroutineLeak(packages []string) *Analyzer {
+	set := make(map[string]bool, len(packages))
+	for _, p := range packages {
+		set[p] = true
+	}
+	a := &Analyzer{
+		Name: "goroutineleak",
+		Doc:  "background goroutines in serving-plane packages must be tied to a context or stop channel",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Packages {
+			if !set[strings.TrimSuffix(pkg.Path, "_test")] || pkg.Info == nil {
+				continue
+			}
+			decls := indexFuncDecls(pkg)
+			for _, f := range pkg.Files {
+				pos := pkg.Fset.Position(f.Pos())
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if goStmtTied(pkg, decls, g) {
+						return true
+					}
+					pass.Reportf(pkg, g.Pos(),
+						"goroutine is not tied to a context or stop channel; pass a context.Context or wait on a done channel so Stop/Crash can reap it")
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// indexFuncDecls maps a package's function objects to their
+// declarations, so a `go name(...)` launch can be checked against the
+// named function's body.
+func indexFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// goStmtTied decides whether the launched goroutine has a stop signal.
+func goStmtTied(pkg *Package, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) bool {
+	// A context handed to the launched function (argument position) ties
+	// it regardless of what the body looks like from here.
+	for _, arg := range g.Call.Args {
+		if isContextType(pkg.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyTied(pkg, fun.Body)
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				return bodyTied(pkg, fd.Body)
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method or imported call: a same-package method's body is
+		// checked; http.Server serve loops are tied by construction
+		// (Shutdown/Close terminates them).
+		if isServerServeCall(pkg, fun) {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				return bodyTied(pkg, fd.Body)
+			}
+		}
+	}
+	// Unresolvable target (e.g. a function value): nothing proves a stop
+	// signal, report it.
+	return false
+}
+
+// bodyTied scans a function body for evidence of a stop signal: a
+// channel receive (unary or select), a range over a channel, a
+// context-typed reference, or a server serve call. Nested function
+// literals are included — a stop signal observed anywhere in the
+// launched code counts.
+func bodyTied(pkg *Package, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			if isContextType(pkg.Info.TypeOf(x)) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && isServerServeCall(pkg, sel) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// serveMethods are the *net/http.Server entry points terminated by
+// Shutdown/Close.
+var serveMethods = map[string]bool{"Serve": true, "ServeTLS": true, "ListenAndServe": true, "ListenAndServeTLS": true}
+
+// isServerServeCall reports whether sel is a serve method on
+// *net/http.Server.
+func isServerServeCall(pkg *Package, sel *ast.SelectorExpr) bool {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return s.Recv().String() == "*net/http.Server" && serveMethods[sel.Sel.Name]
+}

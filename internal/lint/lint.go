@@ -191,5 +191,6 @@ func All() []*Analyzer {
 		MetricName(),
 		AtomicCopy(),
 		CtxHTTP(DefaultCtxHTTPPackages),
+		GoroutineLeak(DefaultGoroutineLeakPackages),
 	}
 }

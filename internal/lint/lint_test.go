@@ -122,6 +122,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"metricname", "fixtures/metricname", []*Analyzer{MetricName()}},
 		{"atomiccopy", "fixtures/atomiccopy", []*Analyzer{AtomicCopy()}},
 		{"ctxhttp", "fixtures/ctxhttp", []*Analyzer{CtxHTTP([]string{"fixtures/ctxhttp"})}},
+		{"goroutineleak", "fixtures/goroutineleak", []*Analyzer{GoroutineLeak([]string{"fixtures/goroutineleak"})}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,112 @@
+// Package goroutineleak exercises the goroutineleak analyzer:
+// background goroutines must be tied to a context or stop channel.
+package goroutineleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+func work() {}
+
+// untiedLoop spins forever with no stop signal.
+func untiedLoop() {
+	go func() { // want "not tied to a context or stop channel"
+		for {
+			work()
+		}
+	}()
+}
+
+// untiedNamed launches a named function that has no stop signal either.
+func untiedNamed() {
+	go forever() // want "not tied to a context or stop channel"
+}
+
+func forever() {
+	for {
+		work()
+	}
+}
+
+// ctxArg hands the goroutine a context at the call site — tied.
+func ctxArg(ctx context.Context) {
+	go tick(ctx)
+}
+
+func tick(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// ctxCaptured closes over a context — tied.
+func ctxCaptured(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// stopChannel waits on a quit channel — tied.
+func stopChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// receiveOnly blocks on a receive — tied.
+func receiveOnly(done chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+// rangeChannel drains a channel until it closes — tied.
+func rangeChannel(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// serveLoop is an http.Server accept loop, terminated by Shutdown — tied.
+func serveLoop(srv *http.Server, ln net.Listener) {
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+}
+
+// serveDirect launches the serve method itself — tied.
+func serveDirect(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) //nolint:errcheck
+}
+
+// funcValue launches an opaque function value: nothing proves a stop
+// signal, so it is reported.
+func funcValue(f func()) {
+	go f() // want "not tied to a context or stop channel"
+}
+
+// suppressed demonstrates the escape hatch for a goroutine whose
+// lifetime is genuinely process-long.
+func suppressed() {
+	//lint:ignore goroutineleak process-lifetime janitor, dies with the binary
+	go forever()
+}

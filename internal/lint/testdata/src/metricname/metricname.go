@@ -19,9 +19,9 @@ func WriteExposition(w io.Writer) {
 
 func readers() {
 	_ = "scdn_good_total"
-	_ = "scdn_hist_seconds_count" // derived histogram series — clean
-	_ = "scdn_hist_seconds_mean"  // derived histogram series — clean
-	_ = "scdn_typo_totl"          // want "not registered"
+	_ = "scdn_hist_seconds_count"  // derived histogram series — clean
+	_ = "scdn_hist_seconds_mean"   // derived histogram series — clean
+	_ = "scdn_typo_totl"           // want "not registered"
 	name := "scdn_req_" + "suffix" // want "built dynamically"
 	_ = name
 	_ = fmt.Sprintf("scdn_shard_%d_total", 3) // want "built dynamically"

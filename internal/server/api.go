@@ -67,6 +67,24 @@ type ReportRequest struct {
 	ByOutcome map[string]uint64 `json:"by_outcome,omitempty"`
 }
 
+// ReplicateRequest asks an edge to adopt a replica of a dataset (the
+// repair sweeper's peer-to-peer re-replication, POST /v1/replicate).
+// The caller authenticates like any client; the receiving edge pulls
+// the bytes itself (deterministic re-materialization), so the request
+// carries no payload.
+type ReplicateRequest struct {
+	Dataset string `json:"dataset"`
+}
+
+// ReplicateResponse reports the adoption outcome: Adopted when the edge
+// newly holds and announced the replica, Already when it was a holder
+// before the request.
+type ReplicateResponse struct {
+	Dataset string `json:"dataset"`
+	Adopted bool   `json:"adopted"`
+	Already bool   `json:"already"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
 	Error string `json:"error"`

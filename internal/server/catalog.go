@@ -166,6 +166,45 @@ func (c *Catalog) ReplicaCount(id storage.DatasetID) int {
 	return s.cluster.ReplicaCount(id)
 }
 
+// MaintenanceSweep merges hot-dataset recommendations across every
+// shard, sorted by dataset ID. The sweep is read-only (shared lock):
+// demand counters are consumed only by AckSweep, so a repairer that dies
+// between sweeping and placing drops no work.
+func (c *Catalog) MaintenanceSweep() []allocation.HotDataset {
+	var out []allocation.HotDataset
+	for _, s := range c.shards {
+		s.mu.RLock()
+		hot, err := s.cluster.MaintenanceSweep()
+		s.mu.RUnlock()
+		if err == nil {
+			out = append(out, hot...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AckSweep acknowledges handled recommendations, routing each to its
+// dataset's shard under the write lock.
+func (c *Catalog) AckSweep(hot []allocation.HotDataset) {
+	for _, h := range hot {
+		s := c.shard(h.ID)
+		s.mu.Lock()
+		s.cluster.AckSweep([]allocation.HotDataset{h})
+		s.mu.Unlock()
+	}
+}
+
+// SetPolicy applies replica-budget and demand-threshold settings to
+// every shard's allocation cluster.
+func (c *Catalog) SetPolicy(maxReplicas int, demandThreshold uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.cluster.SetPolicy(maxReplicas, demandThreshold)
+		s.mu.Unlock()
+	}
+}
+
 // Stats aggregates lookup statistics across every shard's members.
 func (c *Catalog) Stats() (lookups, resolved, unresolved uint64) {
 	for _, s := range c.shards {

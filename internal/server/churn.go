@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scdn/internal/allocation"
+)
+
+// Churn actions.
+const (
+	ChurnKill    = "kill"    // hard Crash: connections die mid-flight, no goodbye
+	ChurnStop    = "stop"    // graceful Stop: drain, deregister, then close
+	ChurnRestart = "restart" // Start the node again (fresh port, re-adoption)
+)
+
+// ChurnEvent is one scripted membership change.
+type ChurnEvent struct {
+	// At is the event's offset from the start of the churn run.
+	At time.Duration
+	// Action is ChurnKill, ChurnStop, or ChurnRestart.
+	Action string
+	// Node is the 1-based node ID the event targets.
+	Node allocation.NodeID
+}
+
+// ChurnSpec is the compact churn description behind the -churn flag:
+// "kill=2,restart=5s,spacing=2s" kills two distinct nodes two seconds
+// apart and restarts each five seconds after its death. restart=never
+// leaves the victims down.
+type ChurnSpec struct {
+	// Kills is how many distinct nodes get crashed.
+	Kills int
+	// Restart is the downtime before each victim starts again; negative
+	// means never.
+	Restart time.Duration
+	// Spacing separates consecutive kills. Default 2s.
+	Spacing time.Duration
+}
+
+// ParseChurnSpec parses the "k=v,k=v" form. Unknown keys are errors so a
+// typo does not silently run a different experiment.
+func ParseChurnSpec(s string) (ChurnSpec, error) {
+	spec := ChurnSpec{Restart: 5 * time.Second, Spacing: 2 * time.Second}
+	if strings.TrimSpace(s) == "" {
+		return spec, fmt.Errorf("server: empty churn spec")
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("server: churn spec %q: want key=value", part)
+		}
+		switch k {
+		case "kill":
+			kn, err := strconv.Atoi(v)
+			if err != nil || kn < 1 {
+				return spec, fmt.Errorf("server: churn spec kill=%q: want a positive count", v)
+			}
+			spec.Kills = kn
+		case "restart":
+			if v == "never" {
+				spec.Restart = -1
+				continue
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return spec, fmt.Errorf("server: churn spec restart=%q: want a duration or never", v)
+			}
+			spec.Restart = d
+		case "spacing":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return spec, fmt.Errorf("server: churn spec spacing=%q: want a positive duration", v)
+			}
+			spec.Spacing = d
+		default:
+			return spec, fmt.Errorf("server: churn spec: unknown key %q", k)
+		}
+	}
+	if spec.Kills < 1 {
+		return spec, fmt.Errorf("server: churn spec: kill count missing")
+	}
+	return spec, nil
+}
+
+// Events expands the spec into a schedule over a cluster of the given
+// size: victims are picked deterministically from the seed, distinct,
+// and capped at nodes-1 so at least one member always remains to repair
+// around the dead.
+func (spec ChurnSpec) Events(nodes int, seed int64) []ChurnEvent {
+	kills := spec.Kills
+	if kills > nodes-1 {
+		kills = nodes - 1
+	}
+	if kills < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	victims := rng.Perm(nodes)[:kills]
+	var ev []ChurnEvent
+	for i, v := range victims {
+		at := spec.Spacing * time.Duration(i+1)
+		node := allocation.NodeID(v + 1)
+		ev = append(ev, ChurnEvent{At: at, Action: ChurnKill, Node: node})
+		if spec.Restart >= 0 {
+			ev = append(ev, ChurnEvent{At: at + spec.Restart, Action: ChurnRestart, Node: node})
+		}
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	return ev
+}
+
+// ParseChurnScript reads a churn script: one event per line,
+// "<offset> <action> <node>", e.g. "2s kill 3". Blank lines and
+// #-comments are skipped.
+func ParseChurnScript(r io.Reader) ([]ChurnEvent, error) {
+	var ev []ChurnEvent
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("server: churn script line %d: want \"<offset> <action> <node>\", got %q", line, text)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("server: churn script line %d: bad offset %q", line, fields[0])
+		}
+		action := fields[1]
+		if action != ChurnKill && action != ChurnStop && action != ChurnRestart {
+			return nil, fmt.Errorf("server: churn script line %d: unknown action %q", line, action)
+		}
+		node, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || node < 1 {
+			return nil, fmt.Errorf("server: churn script line %d: bad node %q", line, fields[2])
+		}
+		ev = append(ev, ChurnEvent{At: at, Action: action, Node: node})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	return ev, nil
+}
+
+// ChurnSummary is a churn run's outcome.
+type ChurnSummary struct {
+	// Kills and Stops count applied take-down events; Restarts counts
+	// applied start events (failed starts are not counted).
+	Kills, Stops, Restarts int
+	// Down is how many nodes are still down.
+	Down int
+	// AllRestarted reports that the schedule has fully run and every
+	// taken-down node came back.
+	AllRestarted bool
+	// Errs collects event application errors (failed restarts).
+	Errs []string
+}
+
+// ChurnRun executes a churn schedule against a LocalCluster in the
+// background.
+type ChurnRun struct {
+	lc   *LocalCluster
+	done chan struct{}
+	quit chan struct{}
+
+	mu       sync.Mutex
+	down     map[allocation.NodeID]bool
+	kills    int
+	stops    int
+	restarts int
+	last     time.Time // most recent membership transition
+	finished bool
+	errs     []string
+}
+
+// StartChurn launches the schedule. Events with out-of-range node IDs
+// are recorded as errors and skipped.
+func StartChurn(lc *LocalCluster, events []ChurnEvent) *ChurnRun {
+	c := &ChurnRun{
+		lc:   lc,
+		done: make(chan struct{}),
+		quit: make(chan struct{}),
+		down: make(map[allocation.NodeID]bool),
+		last: time.Now(),
+	}
+	go c.run(events)
+	return c
+}
+
+func (c *ChurnRun) run(events []ChurnEvent) {
+	defer close(c.done)
+	start := time.Now()
+	for _, ev := range events {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-c.quit:
+				c.mu.Lock()
+				c.finished = true
+				c.mu.Unlock()
+				return
+			case <-time.After(wait):
+			}
+		}
+		c.apply(ev)
+	}
+	c.mu.Lock()
+	c.finished = true
+	c.mu.Unlock()
+}
+
+func (c *ChurnRun) apply(ev ChurnEvent) {
+	idx := int(ev.Node) - 1
+	if idx < 0 || idx >= len(c.lc.Nodes) {
+		c.note(fmt.Sprintf("churn: no node %d", ev.Node))
+		return
+	}
+	node := c.lc.Nodes[idx]
+	switch ev.Action {
+	case ChurnKill:
+		node.Crash()
+		c.transition(func() { c.kills++; c.down[ev.Node] = true })
+	case ChurnStop:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := node.Stop(ctx)
+		cancel()
+		if err != nil {
+			c.note(fmt.Sprintf("churn: stop node %d: %v", ev.Node, err))
+		}
+		c.transition(func() { c.stops++; c.down[ev.Node] = true })
+	case ChurnRestart:
+		if err := node.Start(); err != nil {
+			c.note(fmt.Sprintf("churn: restart node %d: %v", ev.Node, err))
+			return
+		}
+		c.transition(func() { c.restarts++; delete(c.down, ev.Node) })
+	}
+}
+
+func (c *ChurnRun) transition(f func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f()
+	c.last = time.Now()
+}
+
+func (c *ChurnRun) note(msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs = append(c.errs, msg)
+}
+
+// Wait blocks until the schedule has fully run.
+func (c *ChurnRun) Wait() { <-c.done }
+
+// Cancel abandons not-yet-applied events (nodes already taken down stay
+// down) and waits for the runner to exit.
+func (c *ChurnRun) Cancel() {
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	<-c.done
+}
+
+// Active reports whether churn can currently explain a failed request:
+// some node is down, or a membership transition happened within the
+// grace window (suspicion, deregistration, and repair all trail the
+// event itself).
+func (c *ChurnRun) Active(grace time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.down) > 0 || !c.finished || time.Since(c.last) < grace
+}
+
+// Summary snapshots the run's outcome.
+func (c *ChurnRun) Summary() ChurnSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChurnSummary{
+		Kills:        c.kills,
+		Stops:        c.stops,
+		Restarts:     c.restarts,
+		Down:         len(c.down),
+		AllRestarted: c.finished && len(c.down) == 0 && (c.kills+c.stops) > 0,
+		Errs:         append([]string(nil), c.errs...),
+	}
+}

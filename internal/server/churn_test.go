@@ -1,0 +1,133 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChurnSpec(t *testing.T) {
+	spec, err := ParseChurnSpec("kill=2,restart=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kills != 2 || spec.Restart != 5*time.Second || spec.Spacing != 2*time.Second {
+		t.Fatalf("spec = %+v", spec)
+	}
+
+	spec, err = ParseChurnSpec("kill=1,restart=never,spacing=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Restart >= 0 {
+		t.Fatalf("restart=never should be negative, got %v", spec.Restart)
+	}
+	if spec.Spacing != 500*time.Millisecond {
+		t.Fatalf("spacing = %v", spec.Spacing)
+	}
+
+	for _, bad := range []string{
+		"",                 // empty
+		"kill=0",           // non-positive count
+		"restart=5s",       // kill missing
+		"kill=2,nope=3",    // unknown key (typos must not run a different experiment)
+		"kill=2,restart",   // not key=value
+		"kill=2,spacing=0", // non-positive spacing
+	} {
+		if _, err := ParseChurnSpec(bad); err == nil {
+			t.Errorf("ParseChurnSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestChurnSpecEvents(t *testing.T) {
+	// More kills than the cluster can lose: capped at nodes-1 so a
+	// survivor always remains to repair around the dead.
+	ev := ChurnSpec{Kills: 10, Restart: time.Second, Spacing: time.Second}.Events(3, 42)
+	kills, restarts := 0, 0
+	victims := map[int64]bool{}
+	for _, e := range ev {
+		switch e.Action {
+		case ChurnKill:
+			kills++
+			if victims[int64(e.Node)] {
+				t.Fatalf("node %d killed twice", e.Node)
+			}
+			victims[int64(e.Node)] = true
+		case ChurnRestart:
+			restarts++
+		}
+	}
+	if kills != 2 || restarts != 2 {
+		t.Fatalf("kills=%d restarts=%d, want 2/2 (capped at nodes-1)", kills, restarts)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatal("events not sorted by offset")
+		}
+	}
+
+	// Same seed, same schedule: churn runs must be reproducible.
+	again := ChurnSpec{Kills: 10, Restart: time.Second, Spacing: time.Second}.Events(3, 42)
+	if len(again) != len(ev) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range ev {
+		if ev[i] != again[i] {
+			t.Fatalf("event %d differs across runs: %+v vs %+v", i, ev[i], again[i])
+		}
+	}
+
+	if got := (ChurnSpec{Kills: 0}).Events(3, 1); got != nil {
+		t.Fatalf("zero kills should produce no events, got %v", got)
+	}
+
+	// restart=never leaves victims down.
+	for _, e := range (ChurnSpec{Kills: 1, Restart: -1, Spacing: time.Second}).Events(3, 1) {
+		if e.Action == ChurnRestart {
+			t.Fatal("restart=never schedule contains a restart")
+		}
+	}
+}
+
+func TestParseChurnScript(t *testing.T) {
+	script := `
+# take node 2 down hard, node 3 politely, bring both back
+2s kill 2
+7s restart 2
+
+3s stop 3
+9s restart 3
+`
+	ev, err := ParseChurnScript(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	// Sorted by offset regardless of line order.
+	want := []ChurnEvent{
+		{At: 2 * time.Second, Action: ChurnKill, Node: 2},
+		{At: 3 * time.Second, Action: ChurnStop, Node: 3},
+		{At: 7 * time.Second, Action: ChurnRestart, Node: 2},
+		{At: 9 * time.Second, Action: ChurnRestart, Node: 3},
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"2s kill",      // missing node
+		"2s reboot 1",  // unknown action
+		"2s kill zero", // non-numeric node
+		"2s kill 0",    // node IDs are 1-based
+		"soon kill 1",  // bad offset
+	} {
+		if _, err := ParseChurnScript(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseChurnScript(%q) accepted, want error", bad)
+		}
+	}
+}

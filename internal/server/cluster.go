@@ -58,6 +58,9 @@ type ClusterConfig struct {
 	Seed int64
 	// PullThrough enables demand-driven replica caching on the edges.
 	PullThrough bool
+	// Sweep configures every node's background repair sweeper; the zero
+	// value enables it with defaults (see SweeperConfig).
+	Sweep SweeperConfig
 	// FetchAttempts bounds each edge's peer-fallback retries.
 	FetchAttempts int
 	// ListenHost is the bind address (default 127.0.0.1); ports are
@@ -212,6 +215,7 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 			FetchAttempts:    cfg.FetchAttempts,
 			BlockCacheBlocks: cfg.BlockCacheBlocks,
 			Volume:           vol,
+			Sweep:            cfg.Sweep,
 			Clock:            clock,
 		}, repo, mw, catalog, reg)
 		if err != nil {
@@ -272,6 +276,46 @@ func (lc *LocalCluster) URLs() []string {
 		out = append(out, n.BaseURL())
 	}
 	return out
+}
+
+// DatasetReplication is one dataset's replication health: how many
+// holders the catalog records and how many of them are currently online.
+type DatasetReplication struct {
+	ID       storage.DatasetID
+	Replicas int
+	Live     int
+}
+
+// ReplicationStatus reports every dataset's replication health — the
+// post-churn acceptance check: after repair converges, each dataset's
+// Live count must be back at the replication target (capped by how many
+// edges are up).
+func (lc *LocalCluster) ReplicationStatus() []DatasetReplication {
+	out := make([]DatasetReplication, 0, len(lc.DatasetIDs))
+	for _, id := range lc.DatasetIDs {
+		st := DatasetReplication{ID: id}
+		if reps, err := lc.Catalog.Replicas(id); err == nil {
+			st.Replicas = len(reps)
+			for _, r := range reps {
+				if lc.Registry.Online(r.Node) {
+					st.Live++
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// LiveNodes counts edges currently serving.
+func (lc *LocalCluster) LiveNodes() int {
+	live := 0
+	for _, n := range lc.Nodes {
+		if n.Running() {
+			live++
+		}
+	}
+	return live
 }
 
 // Login opens a session for a participant directly against the

@@ -23,6 +23,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/resolve", n.handleResolve)
 	mux.HandleFunc("GET /v1/fetch/{dataset}", n.handleFetch)
 	mux.HandleFunc("POST /v1/report", n.handleReport)
+	mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("GET /healthz", n.handleHealthz)
 	return mux
@@ -55,7 +56,44 @@ func (n *Node) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (n *Node) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = n.Metrics.WriteExposition(w, time.Since(n.started))
+	n.mu.Lock()
+	up := time.Since(n.started)
+	n.mu.Unlock()
+	_ = n.Metrics.WriteExposition(w, up)
+}
+
+// handleReplicate adopts a replica on request (the repair sweeper's
+// peer-to-peer re-replication). Authorization is the same group check
+// any fetch pays; the bytes are re-derived locally, never shipped.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad replicate body: %w", err))
+		return
+	}
+	id := storage.DatasetID(req.Dataset)
+	if _, err := n.auth.Authorize(bearerToken(r), id); err != nil {
+		n.Metrics.AuthDenied.Inc()
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	n.Metrics.ReplicateRequests.Inc()
+	if _, err := n.catalog.DatasetBytes(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if n.hasLocal(id) {
+		writeJSON(w, http.StatusOK, ReplicateResponse{Dataset: req.Dataset, Already: true})
+		return
+	}
+	if !n.replicateLocal(id) {
+		// Not adopted here and now (partition full, or a racing repairer
+		// beat us to the announcement): either way this edge is not a new
+		// holder.
+		writeJSON(w, http.StatusOK, ReplicateResponse{Dataset: req.Dataset, Already: n.hasLocal(id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicateResponse{Dataset: req.Dataset, Adopted: true})
 }
 
 func (n *Node) handleLogin(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +134,7 @@ func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		n.Metrics.ResolveMisses.Inc()
+		w.Header().Set("Retry-After", retryAfterHeader)
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("server: no online replica for %q", id))
 		return
@@ -116,7 +155,7 @@ func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
 	var holders []ReplicaInfo
 	if all, err := n.catalog.Replicas(id); err == nil {
 		for _, hr := range all {
-			if !n.registry.Online(hr.Node) {
+			if !n.registry.Online(hr.Node) || n.suspects.isSuspect(hr.Node) {
 				continue
 			}
 			hu, _ := n.registry.BaseURL(hr.Node)
@@ -355,7 +394,11 @@ func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.Dat
 	}
 	cands := n.orderCandidates(reps)
 	if len(cands) == 0 {
-		fail(http.StatusBadGateway, fmt.Errorf("server: no reachable replica for %q", id))
+		// Zero live holders is churn, not a client error: the dataset is
+		// catalogued, its members are just (momentarily) dead and the
+		// repair sweeper is already working the gap. Tell the client when
+		// to come back instead of counting a fetch failure.
+		n.serveUnavailable(w, id)
 		return
 	}
 	backoff := n.cfg.RetryBase
@@ -381,8 +424,30 @@ func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.Dat
 		}
 		lastErr = err
 	}
+	// If everything we tried has since been declared dead or suspect, the
+	// failure is churn (the holders died under us), not a broken peer.
+	if len(n.orderCandidates(cands)) == 0 {
+		n.serveUnavailable(w, id)
+		return
+	}
 	fail(http.StatusBadGateway,
 		fmt.Errorf("server: all %d fetch attempts for %q failed: %w", n.cfg.FetchAttempts, id, lastErr))
+}
+
+// retryAfterHeader is the Retry-After value on churn 503s: one second is
+// a couple of sweep intervals, enough for the repair loop to restore a
+// live copy in the common case.
+const retryAfterHeader = "1"
+
+// serveUnavailable answers a fetch for a catalogued dataset that churn
+// has left with zero live holders: 503 with Retry-After, counted under
+// the churn metric rather than FetchFailures so load generators can
+// reconcile churn-caused unavailability separately from real errors.
+func (n *Node) serveUnavailable(w http.ResponseWriter, id storage.DatasetID) {
+	n.Metrics.ChurnUnavailable.Inc()
+	w.Header().Set("Retry-After", retryAfterHeader)
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("server: no live replica for %q (members down, repair in progress)", id))
 }
 
 // orderCandidates filters replica holders down to online peers with an
@@ -392,7 +457,10 @@ func (n *Node) orderCandidates(reps []allocation.Replica) []allocation.Replica {
 	mySite, _ := n.registry.SiteOf(n.cfg.Node)
 	cands := make([]allocation.Replica, 0, len(reps))
 	for _, rep := range reps {
-		if rep.Node == n.cfg.Node || !n.registry.Online(rep.Node) {
+		// Suspects — members whose last health probe failed but that the
+		// sweeper has not yet declared dead — are skipped the same as
+		// offline members: don't burn retry budget on a likely corpse.
+		if rep.Node == n.cfg.Node || !n.registry.Online(rep.Node) || n.suspects.isSuspect(rep.Node) {
 			continue
 		}
 		if _, ok := n.registry.BaseURL(rep.Node); !ok {

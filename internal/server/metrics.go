@@ -101,6 +101,36 @@ type Metrics struct {
 	// ReportedAccesses aggregates client-side access counts delivered
 	// via /v1/report (the Section V-A usage statistics).
 	ReportedAccesses metrics.Counter
+	// Failure-detector and repair-sweeper instrumentation (sweeper.go).
+	// ProbeFailures counts failed /healthz probes; RepairSweeps counts
+	// completed sweep cycles; RepairDeadMembers counts members this node
+	// declared dead and deregistered; RepairReadmissions counts members
+	// this node re-admitted after a successful probe;
+	// RepairReplicasRestored counts replicas this node adopted to close
+	// an under-replication or demand gap; RepairReadoptedReplicas counts
+	// surviving local copies re-announced to the catalog after a
+	// restart; RepairFailures counts repair actions that errored;
+	// ReplicateRequests counts POST /v1/replicate calls received.
+	ProbeFailures           metrics.Counter
+	RepairSweeps            metrics.Counter
+	RepairDeadMembers       metrics.Counter
+	RepairReadmissions      metrics.Counter
+	RepairReplicasRestored  metrics.Counter
+	RepairReadoptedReplicas metrics.Counter
+	RepairFailures          metrics.Counter
+	ReplicateRequests       metrics.Counter
+	// Churn instrumentation. ChurnKills counts hard Crash calls on this
+	// node; ChurnRestarts counts re-Starts after the first;
+	// ChurnUnavailable counts fetches answered 503 + Retry-After because
+	// churn left a catalogued dataset with zero live holders — kept out
+	// of FetchFailures so load generators can reconcile churn-caused
+	// unavailability separately from real errors.
+	ChurnKills       metrics.Counter
+	ChurnRestarts    metrics.Counter
+	ChurnUnavailable metrics.Counter
+	// SuspectNodes gauges how many members this node's failure detector
+	// currently suspects.
+	SuspectNodes metrics.Gauge
 	// FetchLatency / ResolveLatency are end-to-end handler latencies in
 	// seconds for client-facing requests.
 	FetchLatency   LatencyHist
@@ -145,10 +175,22 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_store_spills_total", &m.StoreSpills},
 		{"scdn_store_spill_failures_total", &m.StoreSpillFailures},
 		{"scdn_reported_accesses_total", &m.ReportedAccesses},
+		{"scdn_probe_failures_total", &m.ProbeFailures},
+		{"scdn_repair_sweeps_total", &m.RepairSweeps},
+		{"scdn_repair_dead_members_total", &m.RepairDeadMembers},
+		{"scdn_repair_readmissions_total", &m.RepairReadmissions},
+		{"scdn_repair_replicas_restored_total", &m.RepairReplicasRestored},
+		{"scdn_repair_readopted_replicas_total", &m.RepairReadoptedReplicas},
+		{"scdn_repair_failures_total", &m.RepairFailures},
+		{"scdn_replicate_requests_total", &m.ReplicateRequests},
+		{"scdn_churn_kills_total", &m.ChurnKills},
+		{"scdn_churn_restarts_total", &m.ChurnRestarts},
+		{"scdn_churn_unavailable_total", &m.ChurnUnavailable},
 	}
 	for _, c := range counters {
 		p("%s %d\n", c.name, c.c.Value())
 	}
+	p("scdn_suspect_nodes %.0f\n", m.SuspectNodes.Value())
 	hists := []struct {
 		name string
 		h    *LatencyHist

@@ -7,6 +7,13 @@
 // requests against the shared catalog) and an edge repository (it serves
 // dataset bytes, falling back to a peer edge with bounded retry and
 // exponential backoff when it does not hold the data locally).
+//
+// Nodes are member-contributed and carry no uptime SLA: they can be
+// stopped (graceful drain), crashed (hard close, no goodbye), and
+// started again. A background repair sweeper per node (sweeper.go)
+// detects dead members by failed health probes, deregisters them, and
+// re-replicates under-replicated datasets onto survivors; churn.go
+// injects scripted failures so the loop is testable end to end.
 package server
 
 import (
@@ -53,6 +60,10 @@ type Config struct {
 	// path, and pull-through caching spills the proxied stream straight
 	// to disk. Nil keeps the in-memory generated-payload path.
 	Volume *storage.DiskVolume
+	// Sweep configures the node's background repair sweeper
+	// (sweeper.go). The zero value enables it with defaults; set
+	// Sweep.Disabled to run without one.
+	Sweep SweeperConfig
 	// Clock supplies the node's notion of elapsed time (repository
 	// recency, token expiry). Nil means wall time since Start.
 	Clock func() time.Duration
@@ -70,19 +81,27 @@ type Node struct {
 	srcHdr   []string            // the same value as a sharable header slice
 	Metrics  *Metrics
 
+	// suspects is the node's local failure-detector state: members whose
+	// last health probe failed. The fetch path skips suspects before the
+	// registry has deregistered them (sweeper.go).
+	suspects suspectTable
+
 	// repoMu serializes access to the repository, which is
 	// single-threaded by design (the simulator owns it elsewhere).
 	repoMu sync.Mutex
 	repo   *storage.Repository
 
-	client  *http.Client
-	httpSrv *http.Server
-	ln      net.Listener
-	started time.Time
+	client *http.Client
 
-	mu      sync.Mutex
-	baseURL string
-	running bool
+	mu          sync.Mutex
+	httpSrv     *http.Server // fresh per Start: a shut-down http.Server cannot serve again
+	ln          net.Listener
+	started     time.Time
+	baseURL     string
+	running     bool
+	everStarted bool
+	sweepCancel context.CancelFunc
+	sweepDone   chan struct{}
 }
 
 // NewNode wires a node over shared serving-plane state. All
@@ -104,6 +123,7 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 250 * time.Millisecond
 	}
+	cfg.Sweep.applyDefaults()
 	n := &Node{
 		cfg:      cfg,
 		repo:     repo,
@@ -119,10 +139,6 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 		// per-host idle pool, keep-alives on.
 		client: NewHTTPClient(30 * time.Second),
 	}
-	n.httpSrv = &http.Server{
-		Handler:           n.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
 	return n, nil
 }
 
@@ -134,14 +150,21 @@ func (n *Node) now() time.Duration {
 	if n.cfg.Clock != nil {
 		return n.cfg.Clock()
 	}
-	return time.Since(n.started)
+	n.mu.Lock()
+	s := n.started
+	n.mu.Unlock()
+	return time.Since(s)
 }
 
 // Start binds the listener, begins serving in a background goroutine,
-// and publishes the node's endpoint and liveness in the registry.
+// publishes the node's endpoint and liveness in the registry, and (when
+// enabled) launches the repair sweeper. Starting again after Stop or
+// Crash restarts the node on a fresh ephemeral port: the member rejoins
+// the registry and re-adopts any replicas its disk volume or repository
+// still holds.
 func (n *Node) Start() error {
 	// Claim the started state first, then bind outside the mutex: a slow
-	// or hanging listen must not block BaseURL/Shutdown callers.
+	// or hanging listen must not block BaseURL/Stop callers.
 	n.mu.Lock()
 	if n.running {
 		n.mu.Unlock()
@@ -156,21 +179,48 @@ func (n *Node) Start() error {
 		n.mu.Unlock()
 		return fmt.Errorf("server: listen %s: %w", n.cfg.ListenAddr, err)
 	}
+	// A shut-down or closed http.Server is spent; every (re)start gets a
+	// fresh one over the node's handler.
+	srv := &http.Server{
+		Handler:           n.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	baseURL := "http://" + ln.Addr().String()
+	var sweepCtx context.Context
 	n.mu.Lock()
+	restart := n.everStarted
+	n.everStarted = true
+	n.httpSrv = srv
 	n.ln = ln
 	n.started = time.Now()
 	n.baseURL = baseURL
+	if !n.cfg.Sweep.Disabled {
+		sweepCtx, n.sweepCancel = context.WithCancel(context.Background())
+		n.sweepDone = make(chan struct{})
+	}
+	done := n.sweepDone
 	n.mu.Unlock()
+	if restart {
+		n.Metrics.ChurnRestarts.Inc()
+	}
 	n.registry.SetBaseURL(n.cfg.Node, baseURL)
 	n.registry.SetOnline(n.cfg.Node, true)
+	if restart {
+		// A restarted member still holds whatever its volume and
+		// repository committed before the crash: re-announce those
+		// replicas so the catalog converges without re-transferring.
+		n.readoptReplicas()
+	}
 	go func() {
-		if err := n.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			// The listener died outside a graceful shutdown: withdraw
 			// from the membership so peers stop selecting this edge.
 			n.registry.SetOnline(n.cfg.Node, false)
 		}
 	}()
+	if sweepCtx != nil {
+		go n.runSweeper(sweepCtx, done)
+	}
 	return nil
 }
 
@@ -181,18 +231,114 @@ func (n *Node) BaseURL() string {
 	return n.baseURL
 }
 
-// Shutdown withdraws the node from the membership and drains in-flight
-// requests until ctx expires.
-func (n *Node) Shutdown(ctx context.Context) error {
+// Running reports whether the node is currently serving.
+func (n *Node) Running() bool {
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running
+}
+
+// stopLocked claims the stopped state and returns the server to tear
+// down plus the sweeper handles to reap. ok is false when the node was
+// not running.
+func (n *Node) stopLocked() (srv *http.Server, cancel context.CancelFunc, done chan struct{}, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if !n.running {
-		n.mu.Unlock()
-		return nil
+		return nil, nil, nil, false
 	}
 	n.running = false
-	n.mu.Unlock()
+	srv = n.httpSrv
+	cancel, done = n.sweepCancel, n.sweepDone
+	n.sweepCancel, n.sweepDone = nil, nil
+	return srv, cancel, done, true
+}
+
+// Stop gracefully drains the node: it withdraws from the membership,
+// stops the repair sweeper, and lets in-flight requests finish until
+// ctx expires. The node can Start again later.
+func (n *Node) Stop(ctx context.Context) error {
+	srv, cancel, done, ok := n.stopLocked()
+	if !ok {
+		return nil
+	}
 	n.registry.SetOnline(n.cfg.Node, false)
-	return n.httpSrv.Shutdown(ctx)
+	reapSweeper(cancel, done)
+	return srv.Shutdown(ctx)
+}
+
+// Crash kills the node the way a failing member dies: the listener and
+// every active connection close immediately, and nothing is announced —
+// the registry still lists the member online until a peer's failure
+// detector notices. The node can Start again later, as a contributor's
+// machine comes back.
+func (n *Node) Crash() {
+	srv, cancel, done, ok := n.stopLocked()
+	if !ok {
+		return
+	}
+	n.Metrics.ChurnKills.Inc()
+	reapSweeper(cancel, done)
+	_ = srv.Close()
+}
+
+// reapSweeper cancels a node's sweeper goroutine and waits for it to
+// exit, so Stop/Crash never leak a prober still dialing peers.
+func reapSweeper(cancel context.CancelFunc, done chan struct{}) {
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// Shutdown is Stop under its historical name.
+func (n *Node) Shutdown(ctx context.Context) error { return n.Stop(ctx) }
+
+// readoptReplicas re-registers the datasets this node still holds after
+// a restart: committed disk-volume files and repository records survive
+// a crash (the simulator's Node object persists; on a real machine the
+// volume's recovery scan plays this role), but the catalog may have
+// been repaired around the dead member in the meantime. AddReplica
+// failures (most commonly "already replicates", e.g. the origin copy
+// that is never deregistered) are expected outcomes.
+func (n *Node) readoptReplicas() {
+	seen := make(map[storage.DatasetID]bool)
+	var ids []storage.DatasetID
+	if n.vol != nil {
+		for _, id := range n.vol.IDs() {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	n.repoMu.Lock()
+	held := append(n.repo.ReplicaIDs(), n.repo.UserIDs()...)
+	n.repoMu.Unlock()
+	for _, id := range held {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	now := n.now()
+	for _, id := range ids {
+		bytes, err := n.catalog.DatasetBytes(id)
+		if err != nil {
+			continue // not catalogued (anymore): nothing to re-adopt
+		}
+		n.repoMu.Lock()
+		if !n.repo.HasLocal(id) {
+			// A volume file without a repository record (the record was
+			// evicted, the file survived): restore the accounting.
+			_ = n.repo.StoreReplica(id, bytes, now)
+		}
+		n.repoMu.Unlock()
+		if err := n.catalog.AddReplica(id, n.cfg.Node, now); err == nil {
+			n.Metrics.RepairReadoptedReplicas.Inc()
+		}
+	}
 }
 
 // Volume returns the node's disk-backed replica volume (nil in
@@ -233,3 +379,54 @@ func (n *Node) cachePulled(id storage.DatasetID, bytes int64) {
 		n.repoMu.Unlock()
 	}
 }
+
+// suspectTable tracks consecutive failed health probes per member. A
+// member with any recent failure is "suspect" (skipped by the fetch
+// path's candidate ordering); one that fails SweeperConfig.FailThreshold
+// probes in a row is declared dead and deregistered from the registry.
+type suspectTable struct {
+	mu    sync.Mutex
+	fails map[allocation.NodeID]int
+}
+
+// noteFailure records one failed probe and returns the consecutive
+// count.
+func (s *suspectTable) noteFailure(node allocation.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fails == nil {
+		s.fails = make(map[allocation.NodeID]int)
+	}
+	s.fails[node]++
+	return s.fails[node]
+}
+
+// noteSuccess clears a member's failure streak, reporting whether it had
+// one (a recovery).
+func (s *suspectTable) noteSuccess(node allocation.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fails[node] == 0 {
+		return false
+	}
+	delete(s.fails, node)
+	return true
+}
+
+// isSuspect reports whether the member's last probe failed.
+func (s *suspectTable) isSuspect(node allocation.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fails[node] > 0
+}
+
+// count returns how many members are currently suspect.
+func (s *suspectTable) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fails)
+}
+
+// Suspect reports whether this node's failure detector currently
+// suspects the member (test and inspection hook).
+func (n *Node) Suspect(node allocation.NodeID) bool { return n.suspects.isSuspect(node) }

@@ -273,7 +273,10 @@ func TestFetchRetriesDeadPeerThenFallsBack(t *testing.T) {
 }
 
 func TestFetchFailsWhenNoReachableReplica(t *testing.T) {
-	lc := startCluster(t, ClusterConfig{Nodes: 2, Users: 1, Datasets: 2, FetchAttempts: 2})
+	// Sweeper off: the test drives membership by hand, and a live prober
+	// would re-admit node 1 the moment it noticed healthz still answers.
+	lc := startCluster(t, ClusterConfig{Nodes: 2, Users: 1, Datasets: 2, FetchAttempts: 2,
+		Sweep: SweeperConfig{Disabled: true}})
 	client := &http.Client{Timeout: 5 * time.Second}
 	tok := login(t, lc)
 
@@ -286,11 +289,20 @@ func TestFetchFailsWhenNoReachableReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("unreachable fetch = %s", resp.Status)
+	// Zero live holders of a catalogued dataset is churn-style
+	// unavailability: 503 with a Retry-After hint, counted under the
+	// churn metric — not a fetch failure.
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable fetch = %s, want 503", resp.Status)
 	}
-	if lc.Nodes[1].Metrics.FetchFailures.Value() != 1 {
-		t.Fatal("fetch failure not counted")
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("churn 503 missing Retry-After")
+	}
+	if lc.Nodes[1].Metrics.ChurnUnavailable.Value() != 1 {
+		t.Fatal("churn unavailability not counted")
+	}
+	if lc.Nodes[1].Metrics.FetchFailures.Value() != 0 {
+		t.Fatal("churn unavailability miscounted as fetch failure")
 	}
 }
 
