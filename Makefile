@@ -29,11 +29,17 @@
 #                  must finish with zero failed requests and every
 #                  dataset repaired back to the replication floor
 #                  (writes BENCH_churn.json).
+#   make ingestsmoke — fixed-seed live-ingest acceptance: opaque
+#                  datasets are uploaded through PUT /v1/datasets,
+#                  fetched under churn, and every re-replication must be
+#                  satisfied by verified peer byte copy — zero digest
+#                  mismatches, zero generator fallbacks (writes
+#                  BENCH_ingest.json).
 
 GO ?= go
 
 .PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen \
-	ci fmtcheck modverify churnsmoke
+	ci fmtcheck modverify churnsmoke ingestsmoke
 
 check: vet lint test race fuzzsmoke benchsmoke
 
@@ -61,19 +67,23 @@ vet:
 	$(GO) vet ./...
 
 # Every package that spawns goroutines or holds sync/atomic state runs
-# under the race detector. Audited exclusions (no goroutines, no sync,
-# no atomics as of this writing): internal/cdnclient, internal/replication,
-# internal/sim, internal/transfer (single-threaded simulation code),
-# internal/lint (sequential analyzer driver), and the remaining pure
-# graph/model packages; cmd/ has no tests.
+# under the race detector: cdnclient fans upload/download stripes out
+# across goroutines and ingest's manifest store is shared by every
+# node. Audited exclusions (no goroutines, no sync, no atomics as of
+# this writing): internal/replication, internal/sim, internal/transfer
+# (single-threaded simulation code), internal/lint (sequential analyzer
+# driver), and the remaining pure graph/model packages; cmd/ has no
+# tests.
 race:
-	$(GO) test -race ./internal/allocation ./internal/metrics ./internal/middleware \
+	$(GO) test -race ./internal/allocation ./internal/cdnclient ./internal/ingest \
+		./internal/metrics ./internal/middleware \
 		./internal/placement ./internal/server ./internal/socialnet \
 		./internal/storage ./internal/stripe
 
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRange$$' -fuzztime 5s ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanStripes$$' -fuzztime 5s ./internal/stripe
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/ingest
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -cpu 4 ./...
@@ -99,3 +109,16 @@ churnsmoke:
 	grep -q '"failed": 0' BENCH_churn.json
 	grep -q '"all_restarted": true' BENCH_churn.json
 	grep -q '"reconciled": true' BENCH_churn.json
+
+# Fixed seed, same reasoning as churnsmoke. Opaque datasets cannot be
+# regenerated, so the run proves repair moved verified bytes between
+# peers: the regenerated counter must stay zero and every dataset must
+# reconcile byte-for-byte after the churn.
+ingestsmoke:
+	$(GO) run ./cmd/scdn-loadgen -ingest -nodes 3 -workers 4 -datasets 8 \
+		-bytes 262144 -requests 120 -stripes 3 -seed 42 \
+		-churn 'kill=1,restart=3s' -bench-out BENCH_ingest.json
+	grep -q '"failed": 0' BENCH_ingest.json
+	grep -q '"digest_mismatches": 0' BENCH_ingest.json
+	grep -q '"repair_regenerated": 0' BENCH_ingest.json
+	grep -q '"reconciled": true' BENCH_ingest.json

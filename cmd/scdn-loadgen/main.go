@@ -65,8 +65,29 @@ func main() {
 		benchOut    = flag.String("bench-out", "BENCH_delivery.json", "write a machine-readable benchmark record here (empty disables)")
 		store       = flag.String("store", "generated", "payload store for the in-process cluster: generated or dir")
 		churnFlag   = flag.String("churn", "", "inject node churn, e.g. 'kill=2,restart=5s' (in-process mode only)")
+		ingestMode  = flag.Bool("ingest", false, "ingest mode: upload opaque datasets, fetch under churn, require repair-by-copy")
 	)
 	flag.Parse()
+
+	if *ingestMode {
+		if *targets != "" {
+			fatal(fmt.Errorf("-ingest drives the in-process cluster; it cannot be combined with -targets"))
+		}
+		out := *benchOut
+		if out == "BENCH_delivery.json" {
+			out = "BENCH_ingest.json"
+		}
+		stripes := *stripesN
+		if stripes < 1 {
+			stripes = 1
+		}
+		runIngest(ingestParams{
+			nodes: *nodes, workers: *workers, datasets: *datasets,
+			bytesPer: *bytesPer, fetches: *requests, stripes: stripes,
+			seed: *seed, churn: *churnFlag, benchOut: out,
+		})
+		return
+	}
 
 	var (
 		urls        []string
@@ -499,7 +520,7 @@ type latencyMS struct {
 	P99  float64 `json:"p99"`
 }
 
-func writeBenchRecord(path string, rec benchRecord) error {
+func writeBenchRecord(path string, rec any) error {
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -597,10 +618,16 @@ func fetchStriped(ctx context.Context, client *http.Client, res server.ResolveRe
 			}
 		}
 	}
-	r, err := stripe.Fetch(ctx, stripe.Options{
+	opts := stripe.Options{
 		Client: client, Endpoints: endpoints, Token: tok,
-		Stripes: stripes, Verify: verify,
-	}, ds, wantBytes)
+		Stripes: stripes,
+	}
+	if verify {
+		opts.NewVerifier = func(off, length int64) (io.WriteCloser, error) {
+			return server.NewRangeVerifier(ds, off, length), nil
+		}
+	}
+	r, err := stripe.Fetch(ctx, opts, ds, wantBytes)
 	return r.Bytes, err
 }
 

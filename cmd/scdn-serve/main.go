@@ -55,6 +55,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "root directory for dir-mode replica volumes (empty: temp dir, removed on shutdown)")
 		storeQuota  = flag.Int64("store-quota", 0, "per-node replica volume byte quota in dir mode (0: replica reserve)")
 		churnFile   = flag.String("churn-script", "", "churn script file: one '<offset> <action> <node>' per line (kill/stop/restart)")
+		noSeed      = flag.Bool("no-seed", false, "start with zero datasets; publish via PUT /v1/datasets (forces -store dir)")
 	)
 	flag.Parse()
 
@@ -73,12 +74,18 @@ func main() {
 		}
 	}
 
+	if *noSeed {
+		// Uploads land in replica volumes; an ingest-ready cluster needs
+		// the disk-backed store on every edge.
+		*store = server.StoreModeDir
+	}
 	lc, err := server.StartLocalCluster(server.ClusterConfig{
 		Nodes: *nodes, Sites: *sites, CatalogServers: *catalog,
 		Users: *users, Datasets: *datasets, DatasetBytes: *bytes,
 		Seed: *seed, PullThrough: *pullThrough, Group: *group,
 		ListenHost: *host, CatalogShards: *shards, BlockCacheBlocks: *blockCache,
 		StoreMode: *store, StoreDir: *storeDir, StoreQuota: *storeQuota,
+		NoSeedDatasets: *noSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scdn-serve:", err)
@@ -93,7 +100,11 @@ func main() {
 	for i, n := range lc.Nodes {
 		fmt.Printf("  edge %d: %s\n", i+1, n.BaseURL())
 	}
-	fmt.Printf("  datasets: %s .. %s\n", lc.DatasetIDs[0], lc.DatasetIDs[len(lc.DatasetIDs)-1])
+	if len(lc.DatasetIDs) > 0 {
+		fmt.Printf("  datasets: %s .. %s\n", lc.DatasetIDs[0], lc.DatasetIDs[len(lc.DatasetIDs)-1])
+	} else {
+		fmt.Printf("  datasets: none seeded — publish with PUT /v1/datasets/{id}\n")
+	}
 	fmt.Printf("  users:    %d .. %d\n", lc.UserIDs[0], lc.UserIDs[len(lc.UserIDs)-1])
 	fmt.Println("serving — ctrl-c to stop")
 

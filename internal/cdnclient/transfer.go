@@ -1,0 +1,193 @@
+// The live-transfer side of the CDN client: content-addressed uploads
+// into the serving plane (PUT /v1/datasets/{id}) and manifest-verified
+// striped downloads (GridFTP-style parallel ranges). This is the real
+// data plane the paper's client agent "initiates third-party transfers"
+// with — bytes genuinely move, and every transfer verifies against the
+// dataset's manifest, not against a regenerable pattern.
+package cdnclient
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"scdn/internal/ingest"
+	"scdn/internal/storage"
+	"scdn/internal/stripe"
+	"scdn/internal/transport"
+)
+
+// defaultTransferClient drives transfers over the delivery plane's
+// shared tuned transport when the caller supplies no client.
+var defaultTransferClient = transport.NewClient(30 * time.Second)
+
+// TransferOptions parameterizes uploads and downloads.
+type TransferOptions struct {
+	// Client issues the HTTP requests. Nil means a package-default
+	// client over the shared tuned transport.
+	Client *http.Client
+	// Endpoints are candidate base URLs. Downloads spread stripes across
+	// them; uploads send every stripe to Endpoints[0] (origin-affinity:
+	// the receiving edge becomes the dataset's origin, so one upload
+	// must land on one node).
+	Endpoints []string
+	// Token is the bearer session token.
+	Token string
+	// Stripes is the parallel range count (values < 1 mean 1).
+	Stripes int
+}
+
+func (o *TransferOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return defaultTransferClient
+}
+
+// uploadDrainLimit bounds how much of an upload error body is read
+// before close (small JSON envelopes).
+const uploadDrainLimit = 1 << 20
+
+// Upload publishes size bytes from src as dataset id, scoped to the
+// collaboration group. It streams src once to compute the content
+// manifest (whole + per-block SHA-256), then PUTs the bytes — as one
+// body, or as Stripes parallel Content-Range sections for large
+// datasets — declaring the digest up front so the receiving edge can
+// reject any corruption with no partial state. The returned manifest is
+// the server's accepted copy; Upload fails if it disagrees with the
+// locally computed digest.
+func Upload(ctx context.Context, opts TransferOptions, id storage.DatasetID,
+	group string, src io.ReaderAt, size int64) (*ingest.Manifest, error) {
+	if len(opts.Endpoints) == 0 {
+		return nil, fmt.Errorf("cdnclient: upload %q: no endpoints", id)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("cdnclient: upload %q: non-positive size %d", id, size)
+	}
+	// Pass one: hash the content. The manifest exists before any byte
+	// leaves the machine, so a failed upload never half-publishes.
+	hasher := ingest.NewHasher(ingest.DefaultBlockSize)
+	if _, err := io.Copy(hasher, io.NewSectionReader(src, 0, size)); err != nil {
+		return nil, fmt.Errorf("cdnclient: upload %q: hash: %w", id, err)
+	}
+	local := hasher.Manifest(id, true)
+
+	plan := stripe.Plan(size, opts.Stripes, ingest.DefaultBlockSize)
+	base := opts.Endpoints[0]
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type stripeResult struct {
+		manifest []byte // 201 body (the finalizing stripe)
+		err      error
+	}
+	results := make([]stripeResult, len(plan))
+	var wg sync.WaitGroup
+	for i, p := range plan {
+		wg.Add(1)
+		go func(i int, p stripe.Range) {
+			defer wg.Done()
+			body, err := putStripe(ctx, opts, base, id, group, local, src, p, size, len(plan) == 1)
+			results[i] = stripeResult{manifest: body, err: err}
+			if err != nil {
+				cancel() // the upload already failed; stop sibling stripes
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var accepted []byte
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("cdnclient: upload %q: stripe %d: %w", id, i, results[i].err)
+		}
+		if results[i].manifest != nil {
+			accepted = results[i].manifest
+		}
+	}
+	if accepted == nil {
+		return nil, fmt.Errorf("cdnclient: upload %q: no stripe was acknowledged as final", id)
+	}
+	remote, err := ingest.DecodeManifest(accepted)
+	if err != nil {
+		return nil, fmt.Errorf("cdnclient: upload %q: server manifest: %w", id, err)
+	}
+	if remote.Digest != local.Digest || remote.Size != local.Size {
+		return nil, fmt.Errorf("cdnclient: upload %q: server manifest disagrees with local digest", id)
+	}
+	return remote, nil
+}
+
+// putStripe PUTs one byte range of an upload. whole suppresses the
+// Content-Range header (single-body upload). It returns the response
+// body for 201 (the server's manifest, emitted by the stripe that
+// completed the upload) and nil for 204 (stripe accepted, more
+// outstanding).
+func putStripe(ctx context.Context, opts TransferOptions, base string, id storage.DatasetID,
+	group string, man *ingest.Manifest, src io.ReaderAt, p stripe.Range, total int64,
+	whole bool) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		base+"/v1/datasets/"+url.PathEscape(string(id)),
+		io.NewSectionReader(src, p.Offset, p.Length))
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = p.Length
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Authorization", "Bearer "+opts.Token)
+	req.Header.Set(ingest.DigestHeader, man.DigestHex())
+	req.Header.Set(ingest.GroupHeader, group)
+	if !whole {
+		req.Header.Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", p.Offset, p.Offset+p.Length-1, total))
+	}
+	resp, err := opts.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return io.ReadAll(io.LimitReader(resp.Body, uploadDrainLimit))
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, uploadDrainLimit))
+		return nil, fmt.Errorf("status %s: %s", resp.Status, body)
+	}
+}
+
+// Download retrieves the manifest's dataset as parallel verified range
+// fetches into dst: stripes are block-aligned so each one checks its
+// bytes against the manifest's block digests in-stream, and a stripe
+// from a corrupt or lying holder fails the transfer before dst is
+// trusted. Endpoints should list replica holders (from a resolve).
+func Download(ctx context.Context, opts TransferOptions, man *ingest.Manifest,
+	dst io.WriterAt) (stripe.Result, error) {
+	return stripe.Fetch(ctx, stripe.Options{
+		Client:    opts.Client,
+		Endpoints: opts.Endpoints,
+		Token:     opts.Token,
+		Stripes:   opts.Stripes,
+		Align:     man.BlockSize,
+		NewVerifier: func(off, length int64) (io.WriteCloser, error) {
+			return man.NewRangeVerifier(off, length)
+		},
+		Dst: dst,
+	}, man.Dataset, man.Size)
+}
+
+// discardAt swallows positioned writes (digest-reconciliation
+// downloads that only care about verification).
+type discardAt struct{}
+
+func (discardAt) WriteAt(p []byte, _ int64) (int, error) { return len(p), nil }
+
+// Discard is an io.WriterAt that drops everything written to it: pass
+// it to Download to verify a dataset's replicas without keeping the
+// bytes.
+var Discard io.WriterAt = discardAt{}

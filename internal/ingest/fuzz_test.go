@@ -1,0 +1,57 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"scdn/internal/storage"
+)
+
+// FuzzManifest hammers the manifest decoder with hostile bytes: any
+// input the decoder accepts must survive an encode/decode round trip
+// byte-identically, and must satisfy Validate — a manifest can never
+// decode into a state that describes an impossible dataset (negative
+// sizes, inconsistent block counts, malformed digests).
+func FuzzManifest(f *testing.F) {
+	seed := func(id string, data []byte, blockSize int64) {
+		h := NewHasher(blockSize)
+		_, _ = h.Write(data)
+		m := h.Manifest(storage.DatasetID("ds-"+id), true)
+		if enc, err := EncodeManifest(m); err == nil {
+			f.Add(enc)
+		}
+	}
+	seed("tiny", []byte("x"), 1024)
+	seed("even", bytes.Repeat([]byte("abcd"), 512), 512)
+	seed("ragged", bytes.Repeat([]byte("scdn"), 700), 1024)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dataset":"d","size":1,"block_size":1,"opaque":true,` +
+		`"sha256":"zz","blocks":[]}`))
+	f.Add([]byte(`{"dataset":"d","size":9223372036854775807,"block_size":1,` +
+		`"opaque":false,"sha256":"` + string(bytes.Repeat([]byte("a"), 64)) + `","blocks":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("decoded manifest fails validation: %v", verr)
+		}
+		enc, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		enc2, err := EncodeManifest(m2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip unstable:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package ingest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// testPayload builds deterministic pseudo-random content.
+func testPayload(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// manifestOf hashes a payload through the streaming Hasher in random
+// chunk sizes, so block-boundary handling is exercised.
+func manifestOf(t *testing.T, id string, data []byte, blockSize int64) *Manifest {
+	t.Helper()
+	h := NewHasher(blockSize)
+	rng := rand.New(rand.NewSource(int64(len(data))))
+	for off := 0; off < len(data); {
+		n := 1 + rng.Intn(3*int(blockSize))
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := h.Write(data[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	return h.Manifest("ds", true)
+}
+
+func TestHasherMatchesReference(t *testing.T) {
+	data := testPayload(1, 3*1024+17)
+	m := manifestOf(t, "ds", data, 1024)
+	if m.Size != int64(len(data)) {
+		t.Fatalf("size = %d, want %d", m.Size, len(data))
+	}
+	if m.Digest != sha256.Sum256(data) {
+		t.Fatal("whole digest diverges from one-shot sha256")
+	}
+	if want := BlockCount(m.Size, 1024); int64(len(m.Blocks)) != want {
+		t.Fatalf("blocks = %d, want %d", len(m.Blocks), want)
+	}
+	for i := range m.Blocks {
+		lo := i * 1024
+		hi := lo + 1024
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if m.Blocks[i] != sha256.Sum256(data[lo:hi]) {
+			t.Fatalf("block %d digest diverges", i)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	data := testPayload(2, 5000)
+	m := manifestOf(t, "ds", data, 1024)
+	enc, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeManifest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encode diverges")
+	}
+	if got.Digest != m.Digest || got.Size != m.Size || len(got.Blocks) != len(m.Blocks) {
+		t.Fatal("decoded manifest diverges")
+	}
+}
+
+func TestDecodeManifestRejectsHostileInputs(t *testing.T) {
+	data := testPayload(3, 2048)
+	m := manifestOf(t, "ds", data, 1024)
+	good, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"trailing garbage", func(b []byte) []byte { return append(b, " {}"...) }},
+		{"uppercase digest", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"sha256":"`+m.DigestHex()),
+				[]byte(`"sha256":"`+string(bytes.ToUpper([]byte(m.DigestHex())))), 1)
+		}},
+		{"wrong block count", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"size":2048`), []byte(`"size":9048`), 1)
+		}},
+		{"negative size", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"size":2048`), []byte(`"size":-1`), 1)
+		}},
+		{"zero block size", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"block_size":1024`), []byte(`"block_size":0`), 1)
+		}},
+		{"unknown field", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`{"dataset"`), []byte(`{"evil":1,"dataset"`), 1)
+		}},
+		{"short digest", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(m.DigestHex()), []byte(m.DigestHex()[:10]), 1)
+		}},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(append([]byte(nil), good...))
+		if bytes.Equal(mutated, good) {
+			t.Fatalf("%s: mutation did not apply", tc.name)
+		}
+		if _, err := DecodeManifest(mutated); err == nil {
+			t.Fatalf("%s: hostile manifest accepted", tc.name)
+		}
+	}
+}
+
+func TestWholeVerifier(t *testing.T) {
+	data := testPayload(4, 4096+100)
+	m := manifestOf(t, "ds", data, 1024)
+
+	v, err := m.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One flipped byte must fail the block that contains it.
+	bad := append([]byte(nil), data...)
+	bad[2000] ^= 0xff
+	v2, _ := m.NewVerifier()
+	_, werr := v2.Write(bad)
+	if werr == nil {
+		t.Fatal("corrupt stream verified")
+	}
+
+	// Truncation must fail Close.
+	v3, _ := m.NewVerifier()
+	if _, err := v3.Write(data[:len(data)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v3.Close(); err == nil {
+		t.Fatal("truncated stream verified")
+	}
+
+	// Surplus bytes must fail Write.
+	v4, _ := m.NewVerifier()
+	if _, err := v4.Write(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("surplus byte verified")
+	}
+}
+
+func TestRangeVerifierAlignment(t *testing.T) {
+	data := testPayload(5, 4096+100)
+	m := manifestOf(t, "ds", data, 1024)
+
+	// Aligned interior range verifies.
+	v, err := m.NewRangeVerifier(1024, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(data[1024:3072]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tail range ending at Size (short last block) verifies.
+	v2, err := m.NewRangeVerifier(4096, m.Size-4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Write(data[4096:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Misaligned ranges are rejected at construction.
+	if _, err := m.NewRangeVerifier(100, 1024); err == nil {
+		t.Fatal("misaligned offset accepted")
+	}
+	if _, err := m.NewRangeVerifier(0, 100); err == nil {
+		t.Fatal("mid-block range end accepted")
+	}
+	if _, err := m.NewRangeVerifier(0, m.Size+1); err == nil {
+		t.Fatal("over-long range accepted")
+	}
+}
+
+func TestStoreSemantics(t *testing.T) {
+	a := manifestOf(t, "ds", testPayload(6, 2048), 1024)
+	b := manifestOf(t, "ds", testPayload(7, 2048), 1024)
+	s := NewStore()
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(a); err != nil {
+		t.Fatalf("idempotent re-put failed: %v", err)
+	}
+	if err := s.Put(b); err == nil {
+		t.Fatal("conflicting manifest accepted")
+	}
+	got, ok := s.Get("ds")
+	if !ok || got.Digest != a.Digest {
+		t.Fatal("stored manifest not returned")
+	}
+	if s.Len() != 1 || len(s.IDs()) != 1 {
+		t.Fatal("store accounting wrong")
+	}
+	s.Delete("ds")
+	if _, ok := s.Get("ds"); ok {
+		t.Fatal("deleted manifest still present")
+	}
+}

@@ -109,6 +109,14 @@ func (m *Middleware) Authorize(tok socialnet.Token, id storage.DatasetID) (socia
 	return user, nil
 }
 
+// InGroup reports whether a user belongs to a collaboration group — the
+// membership check behind publishing new data into a group (uploads
+// scope datasets to a group before the dataset exists, so Authorize's
+// dataset→group lookup cannot run yet).
+func (m *Middleware) InGroup(user socialnet.UserID, group string) bool {
+	return m.platform.InGroup(group, user)
+}
+
 // Denied returns the number of rejected authorization attempts.
 func (m *Middleware) Denied() uint64 { return m.denied.Load() }
 

@@ -1,11 +1,14 @@
 package server
 
-// Wire types of the serving-plane HTTP API (v1). All bodies are JSON.
+// Wire types of the serving-plane HTTP API (v1). All bodies are JSON
+// unless noted.
 //
 //	POST /v1/login    LoginRequest → LoginResponse
 //	POST /v1/resolve  ResolveRequest → ResolveResponse   (Bearer token)
 //	GET  /v1/fetch/{dataset}  → payload bytes            (Bearer token)
+//	PUT  /v1/datasets/{dataset}  octet-stream → manifest (Bearer token)
 //	POST /v1/report   ReportRequest → 204                (Bearer token)
+//	POST /v1/replicate  ReplicateRequest → ReplicateResponse (Bearer token)
 //	GET  /metrics     → text exposition
 //	GET  /healthz     → "ok"
 //
@@ -13,6 +16,15 @@ package server
 // -k) with 206 + Content-Range; full responses advertise
 // Accept-Ranges: bytes. Malformed or unsatisfiable ranges are answered
 // with 416, never with a silent full body.
+//
+// Upload (upload.go) publishes a new dataset: the body is raw bytes,
+// X-SCDN-Digest declares their whole-stream SHA-256 up front, and
+// X-SCDN-Group scopes the dataset to a collaboration group. Large
+// uploads may arrive as parallel stripes, each carrying
+// "Content-Range: bytes a-b/total"; the stripe completing the byte
+// count answers 201 with the accepted manifest JSON (see
+// internal/ingest), the rest answer 204. Bytes that do not hash to the
+// declared digest are rejected with 422 and leave no state.
 
 // peerHeader marks a fetch as an edge-to-edge hop: the receiving node
 // serves only from its local repository and never fans out again, which

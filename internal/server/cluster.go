@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scdn/internal/allocation"
+	"scdn/internal/ingest"
 	"scdn/internal/middleware"
 	"scdn/internal/socialnet"
 	"scdn/internal/storage"
@@ -36,6 +37,9 @@ type ClusterConfig struct {
 	// DatasetBytes each (default 64 KiB), owned round-robin by the edges.
 	Datasets     int
 	DatasetBytes int64
+	// NoSeedDatasets starts the cluster with zero published datasets
+	// (ingest-driven runs: every dataset enters through an upload).
+	NoSeedDatasets bool
 	// RepoCapacity / ReplicaReserve size each edge repository
 	// (defaults 1 GiB / 512 MiB).
 	RepoCapacity   int64
@@ -127,6 +131,7 @@ type LocalCluster struct {
 	Middleware *middleware.Middleware
 	Registry   *Registry
 	Catalog    *Catalog
+	Manifests  *ingest.Store
 	Nodes      []*Node
 	// UserIDs are the client participants; DatasetIDs the published data.
 	UserIDs    []socialnet.UserID
@@ -156,9 +161,10 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	manifests := ingest.NewStore()
 	lc := &LocalCluster{
 		Config: cfg, Platform: platform, Middleware: mw,
-		Registry: reg, Catalog: catalog,
+		Registry: reg, Catalog: catalog, Manifests: manifests,
 	}
 	if cfg.StoreMode == StoreModeDir {
 		if cfg.StoreDir != "" {
@@ -216,6 +222,7 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 			BlockCacheBlocks: cfg.BlockCacheBlocks,
 			Volume:           vol,
 			Sweep:            cfg.Sweep,
+			Manifests:        manifests,
 			Clock:            clock,
 		}, repo, mw, catalog, reg)
 		if err != nil {
@@ -241,21 +248,33 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 	}
 
 	// Datasets: group-scoped, owned round-robin by the edges; the
-	// owner's repository holds the origin copy.
-	for d := 0; d < cfg.Datasets; d++ {
-		id := storage.DatasetID(fmt.Sprintf("ds-%03d", d+1))
-		originIdx := d % cfg.Nodes
-		origin := allocation.NodeID(originIdx + 1)
-		if err := mw.RegisterDataset(id, cfg.Group); err != nil {
-			return nil, err
+	// owner's repository holds the origin copy. Each seeded dataset gets
+	// a content manifest computed from its deterministic payload
+	// (opaque=false — it stays regenerable), so digest verification on
+	// peer transfers works uniformly for seeded and uploaded data.
+	if !cfg.NoSeedDatasets {
+		for d := 0; d < cfg.Datasets; d++ {
+			id := storage.DatasetID(fmt.Sprintf("ds-%03d", d+1))
+			originIdx := d % cfg.Nodes
+			origin := allocation.NodeID(originIdx + 1)
+			if err := mw.RegisterDataset(id, cfg.Group); err != nil {
+				return nil, err
+			}
+			if err := catalog.RegisterDataset(id, origin, cfg.DatasetBytes); err != nil {
+				return nil, err
+			}
+			if err := repos[originIdx].StoreUser(id, cfg.DatasetBytes, 0); err != nil {
+				return nil, err
+			}
+			hasher := ingest.NewHasher(ingest.DefaultBlockSize)
+			if _, err := WritePayload(hasher, id, cfg.DatasetBytes); err != nil {
+				return nil, err
+			}
+			if err := manifests.Put(hasher.Manifest(id, false)); err != nil {
+				return nil, err
+			}
+			lc.DatasetIDs = append(lc.DatasetIDs, id)
 		}
-		if err := catalog.RegisterDataset(id, origin, cfg.DatasetBytes); err != nil {
-			return nil, err
-		}
-		if err := repos[originIdx].StoreUser(id, cfg.DatasetBytes, 0); err != nil {
-			return nil, err
-		}
-		lc.DatasetIDs = append(lc.DatasetIDs, id)
 	}
 
 	for _, node := range lc.Nodes {

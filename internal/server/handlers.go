@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"scdn/internal/allocation"
+	"scdn/internal/ingest"
 	"scdn/internal/socialnet"
 	"scdn/internal/storage"
 )
@@ -22,6 +24,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/login", n.handleLogin)
 	mux.HandleFunc("POST /v1/resolve", n.handleResolve)
 	mux.HandleFunc("GET /v1/fetch/{dataset}", n.handleFetch)
+	mux.HandleFunc("PUT /v1/datasets/{dataset}", n.handleUpload)
 	mux.HandleFunc("POST /v1/report", n.handleReport)
 	mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
@@ -86,7 +89,7 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ReplicateResponse{Dataset: req.Dataset, Already: true})
 		return
 	}
-	if !n.replicateLocal(id) {
+	if !n.replicateLocal(r.Context(), id) {
 		// Not adopted here and now (partition full, or a racing repairer
 		// beat us to the announcement): either way this edge is not a new
 		// holder.
@@ -236,8 +239,14 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if local {
-		n.serveLocal(w, r, id, rng, isRange, bytes)
-		return
+		if n.serveLocal(w, r, id, rng, isRange, bytes) {
+			return
+		}
+		// The local claim was a lie: an opaque dataset whose volume file
+		// is gone cannot be regenerated. Withdraw the stale records so
+		// resolution stops routing here, then fall through to the peer
+		// path — a surviving holder still has the real bytes.
+		n.dropLocal(id)
 	}
 	if fromPeer {
 		fail(http.StatusNotFound, fmt.Errorf("server: node %d does not hold %q", n.cfg.Node, id))
@@ -249,14 +258,23 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 // serveLocal streams the dataset (or the requested byte range of it)
 // from this edge: from the disk-backed replica volume via sendfile when
 // the node has one, from the in-memory deterministic generator
-// otherwise. Both produce the identical byte stream, so clients verify
-// either the same way.
+// otherwise. Generated and disk copies of a seeded dataset are the
+// identical byte stream, so clients verify either the same way. Opaque
+// (uploaded) datasets exist only as real files: they are never
+// synthesized, so a missing volume file returns false — the caller must
+// treat the local copy as lost.
 func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64) {
-	if n.vol != nil && n.serveDisk(w, r, id, rng, isRange, total) {
-		return
+	rng byteRange, isRange bool, total int64) bool {
+	man, hasMan := n.manifests.Get(id)
+	opaque := hasMan && man.Opaque
+	if n.vol != nil && n.serveDisk(w, r, id, rng, isRange, total, opaque) {
+		return true
+	}
+	if opaque {
+		return false
 	}
 	n.serveGenerated(w, id, rng, isRange, total)
+	return true
 }
 
 // Constant header values shared across requests. The keys they are
@@ -279,12 +297,13 @@ var (
 // the deterministic generator, so integrity verification is unchanged).
 // Returns false to fall back to the generated path when the volume
 // cannot produce the file; the fetch must not fail just because a disk
-// is full.
+// is full. Opaque datasets skip materialization — their bytes are not
+// derivable, a missing file is simply a miss.
 func (n *Node) serveDisk(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64) bool {
+	rng byteRange, isRange bool, total int64, opaque bool) bool {
 	f, size, ok := n.vol.Open(id)
 	if !ok {
-		if !n.materialize(id, total) {
+		if opaque || !n.materialize(id, total) {
 			return false
 		}
 		if f, size, ok = n.vol.Open(id); !ok {
@@ -517,11 +536,29 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	// fail the client's fetch: the spill is poisoned, aborted at the end,
 	// and counted.
 	var spill *storage.Spill
+	man, hasMan := n.manifests.Get(id)
+	opaque := hasMan && man.Opaque
 	pullThrough := n.cfg.PullThrough && !isRange
 	if pullThrough && n.vol != nil && total <= n.vol.Quota() {
 		if sp, serr := n.vol.NewSpill(id); serr == nil {
 			spill = sp
 		} else {
+			n.Metrics.StoreSpillFailures.Inc()
+		}
+	}
+	// Peer bytes are never trusted on faith: when the dataset has a
+	// manifest, the spilled stream runs through a whole-stream digest
+	// verifier and a mismatch discards the copy (and, for opaque
+	// datasets, the would-be replica record). The client's own stream is
+	// already on the wire by then — end-to-end client verification
+	// catches that side.
+	var verifier *ingest.RangeVerifier
+	if spill != nil && hasMan {
+		if vv, verr := man.NewVerifier(); verr == nil {
+			verifier = vv
+		} else {
+			spill.Abort()
+			spill = nil
 			n.Metrics.StoreSpillFailures.Inc()
 		}
 	}
@@ -538,7 +575,11 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	dst := io.Writer(w)
 	var spillW *bestEffortWriter
 	if spill != nil {
-		spillW = &bestEffortWriter{w: spill}
+		sink := io.Writer(spill)
+		if verifier != nil {
+			sink = io.MultiWriter(verifier, spill)
+		}
+		spillW = &bestEffortWriter{w: sink}
 		dst = io.MultiWriter(w, spillW)
 	}
 	written, copyErr := copyBuffered(dst, resp.Body)
@@ -556,22 +597,43 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	} else {
 		n.Metrics.PeerHits.Inc()
 	}
+	committedSpill := false
 	if spill != nil {
-		if spillW.err != nil {
+		var verr error
+		if spillW.err == nil && verifier != nil {
+			verr = verifier.Close()
+		}
+		switch {
+		case errors.Is(spillW.err, ingest.ErrDigestMismatch):
+			// A corrupt block fails the verifier mid-stream, which
+			// surfaces through the sink as a write error: corruption,
+			// not a spill problem.
+			spill.Abort()
+			n.Metrics.IngestDigestRejects.Inc()
+		case spillW.err != nil:
 			spill.Abort()
 			n.Metrics.StoreSpillFailures.Inc()
-		} else if err := spill.Commit(total); err != nil {
-			n.Metrics.StoreSpillFailures.Inc()
-		} else {
-			n.Metrics.StoreSpills.Inc()
+		case verr != nil:
+			// The peer's bytes do not match the manifest: never adopt them.
+			spill.Abort()
+			n.Metrics.IngestDigestRejects.Inc()
+		default:
+			if err := spill.Commit(total); err != nil {
+				n.Metrics.StoreSpillFailures.Inc()
+			} else {
+				n.Metrics.StoreSpills.Inc()
+				committedSpill = true
+			}
 		}
 	}
 	// Pull-through only on full-body fetches: a stripe proves nothing
 	// about the rest of the dataset, so partial transfers never mint a
 	// replica record. (The metadata registration below is what announces
-	// the replica; a failed spill just means the bytes get materialized
-	// from the generator on the next local hit.)
-	if pullThrough {
+	// the replica; for a seeded dataset a failed spill just means the
+	// bytes get materialized from the generator on the next local hit —
+	// but an opaque dataset has no generator, so its replica record
+	// exists only when digest-verified bytes actually committed.)
+	if pullThrough && (!opaque || committedSpill) {
 		n.cachePulled(id, total)
 	}
 	return true, nil

@@ -128,6 +128,23 @@ type Metrics struct {
 	ChurnKills       metrics.Counter
 	ChurnRestarts    metrics.Counter
 	ChurnUnavailable metrics.Counter
+	// Ingest instrumentation (upload.go, sweeper.go). IngestUploads /
+	// IngestUploadBytes count datasets (and bytes) published through
+	// PUT /v1/datasets; IngestUploadExpired counts abandoned upload
+	// sessions the sweeper reaped; IngestDigestRejects counts byte
+	// streams refused for disagreeing with their declared or recorded
+	// digest (failed uploads and corrupt peer pulls alike);
+	// IngestRepairCopies / IngestRepairCopyBytes count re-replications
+	// satisfied by a verified byte transfer from surviving holders, and
+	// IngestRepairRegenerated those satisfied by the deterministic
+	// generator — for opaque datasets the latter must stay zero.
+	IngestUploads           metrics.Counter
+	IngestUploadBytes       metrics.Counter
+	IngestUploadExpired     metrics.Counter
+	IngestDigestRejects     metrics.Counter
+	IngestRepairCopies      metrics.Counter
+	IngestRepairCopyBytes   metrics.Counter
+	IngestRepairRegenerated metrics.Counter
 	// SuspectNodes gauges how many members this node's failure detector
 	// currently suspects.
 	SuspectNodes metrics.Gauge
@@ -186,6 +203,13 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_churn_kills_total", &m.ChurnKills},
 		{"scdn_churn_restarts_total", &m.ChurnRestarts},
 		{"scdn_churn_unavailable_total", &m.ChurnUnavailable},
+		{"scdn_ingest_uploads_total", &m.IngestUploads},
+		{"scdn_ingest_upload_bytes_total", &m.IngestUploadBytes},
+		{"scdn_ingest_upload_expired_total", &m.IngestUploadExpired},
+		{"scdn_ingest_digest_rejects_total", &m.IngestDigestRejects},
+		{"scdn_ingest_repair_copies_total", &m.IngestRepairCopies},
+		{"scdn_ingest_repair_copy_bytes_total", &m.IngestRepairCopyBytes},
+		{"scdn_ingest_repair_regenerated_total", &m.IngestRepairRegenerated},
 	}
 	for _, c := range counters {
 		p("%s %d\n", c.name, c.c.Value())

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"scdn/internal/allocation"
+	"scdn/internal/ingest"
 	"scdn/internal/storage"
 )
 
@@ -258,12 +259,13 @@ func (w *benchRW) ReadFrom(r io.Reader) (int64, error) {
 // collaborators (block cache, optional volume) wired.
 func benchNode(vol *storage.DiskVolume) *Node {
 	return &Node{
-		cfg:     Config{Node: 1},
-		blocks:  NewBlockCache(16),
-		vol:     vol,
-		srcID:   "1",
-		srcHdr:  []string{"1"},
-		Metrics: &Metrics{},
+		cfg:       Config{Node: 1},
+		blocks:    NewBlockCache(16),
+		vol:       vol,
+		srcID:     "1",
+		srcHdr:    []string{"1"},
+		manifests: ingest.NewStore(),
+		Metrics:   &Metrics{},
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"scdn/internal/allocation"
+	"scdn/internal/ingest"
 	"scdn/internal/middleware"
 	"scdn/internal/storage"
 )
@@ -64,6 +65,14 @@ type Config struct {
 	// (sweeper.go). The zero value enables it with defaults; set
 	// Sweep.Disabled to run without one.
 	Sweep SweeperConfig
+	// Manifests is the cluster's shared content-address index (dataset →
+	// manifest). Nil gets a private empty store; clusters share one the
+	// same way they share the catalog.
+	Manifests *ingest.Store
+	// UploadIdleTimeout is how long a striped upload session may sit
+	// with no arriving stripe before the sweeper aborts it and deletes
+	// its temp file. Zero means 15s.
+	UploadIdleTimeout time.Duration
 	// Clock supplies the node's notion of elapsed time (repository
 	// recency, token expiry). Nil means wall time since Start.
 	Clock func() time.Duration
@@ -80,6 +89,16 @@ type Node struct {
 	srcID    string              // X-SCDN-Source value, rendered once
 	srcHdr   []string            // the same value as a sharable header slice
 	Metrics  *Metrics
+
+	// manifests is the shared content-address index: which datasets are
+	// content-addressed (and which of those are opaque — not
+	// regenerable). See upload.go and the opaque rules in handlers.go.
+	manifests *ingest.Store
+
+	// upMu guards uploads, the in-flight striped upload sessions
+	// (upload.go).
+	upMu    sync.Mutex
+	uploads map[storage.DatasetID]*uploadSession
 
 	// suspects is the node's local failure-detector state: members whose
 	// last health probe failed. The fetch path skips suspects before the
@@ -124,17 +143,25 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 		cfg.RetryMax = 250 * time.Millisecond
 	}
 	cfg.Sweep.applyDefaults()
+	if cfg.Manifests == nil {
+		cfg.Manifests = ingest.NewStore()
+	}
+	if cfg.UploadIdleTimeout <= 0 {
+		cfg.UploadIdleTimeout = 15 * time.Second
+	}
 	n := &Node{
-		cfg:      cfg,
-		repo:     repo,
-		auth:     auth,
-		catalog:  catalog,
-		registry: registry,
-		blocks:   NewBlockCache(cfg.BlockCacheBlocks),
-		vol:      cfg.Volume,
-		srcID:    strconv.FormatInt(int64(cfg.Node), 10),
-		srcHdr:   []string{strconv.FormatInt(int64(cfg.Node), 10)},
-		Metrics:  &Metrics{},
+		cfg:       cfg,
+		repo:      repo,
+		auth:      auth,
+		catalog:   catalog,
+		registry:  registry,
+		blocks:    NewBlockCache(cfg.BlockCacheBlocks),
+		vol:       cfg.Volume,
+		srcID:     strconv.FormatInt(int64(cfg.Node), 10),
+		srcHdr:    []string{strconv.FormatInt(int64(cfg.Node), 10)},
+		Metrics:   &Metrics{},
+		manifests: cfg.Manifests,
+		uploads:   make(map[storage.DatasetID]*uploadSession),
 		// Peer hops share the process-wide tuned transport: raised
 		// per-host idle pool, keep-alives on.
 		client: NewHTTPClient(30 * time.Second),
@@ -264,7 +291,12 @@ func (n *Node) Stop(ctx context.Context) error {
 	}
 	n.registry.SetOnline(n.cfg.Node, false)
 	reapSweeper(cancel, done)
-	return srv.Shutdown(ctx)
+	err := srv.Shutdown(ctx)
+	// With the listener drained no new stripes can arrive: whatever
+	// upload sessions remain are half-finished and must not leave temp
+	// files behind.
+	n.abortUploads()
+	return err
 }
 
 // Crash kills the node the way a failing member dies: the listener and
@@ -280,6 +312,9 @@ func (n *Node) Crash() {
 	n.Metrics.ChurnKills.Inc()
 	reapSweeper(cancel, done)
 	_ = srv.Close()
+	// Connections are dead; in-flight stripes error out on their own and
+	// the rest of the session state is garbage now.
+	n.abortUploads()
 }
 
 // reapSweeper cancels a node's sweeper goroutine and waits for it to
@@ -344,6 +379,23 @@ func (n *Node) readoptReplicas() {
 // Volume returns the node's disk-backed replica volume (nil in
 // generated-payload mode).
 func (n *Node) Volume() *storage.DiskVolume { return n.vol }
+
+// Manifest returns the dataset's recorded content manifest, if any.
+func (n *Node) Manifest(id storage.DatasetID) (*ingest.Manifest, bool) {
+	return n.manifests.Get(id)
+}
+
+// dropLocal withdraws this node's claim to hold the dataset: repository
+// record and catalog announcement both go (best effort — an origin copy
+// the allocation layer refuses to deregister stays announced). Used
+// when a local copy turns out to be unservable, e.g. an opaque
+// dataset's volume file is gone and regeneration is impossible.
+func (n *Node) dropLocal(id storage.DatasetID) {
+	n.repoMu.Lock()
+	_ = n.repo.DropReplica(id)
+	n.repoMu.Unlock()
+	_ = n.catalog.RemoveReplica(id, n.cfg.Node)
+}
 
 // RepoStats snapshots the node's repository statistics.
 func (n *Node) RepoStats() storage.Stats {

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"scdn/internal/allocation"
+	"scdn/internal/cdnclient"
+	"scdn/internal/ingest"
 	"scdn/internal/socialnet"
 	"scdn/internal/storage"
 )
@@ -76,14 +78,15 @@ func (n *Node) runSweeper(ctx context.Context, done chan struct{}) {
 	}
 }
 
-// sweepOnce runs one repair cycle: probe membership, repair
-// replication, publish detector state.
+// sweepOnce runs one repair cycle: probe membership, expire abandoned
+// upload sessions, repair replication, publish detector state.
 func (n *Node) sweepOnce(ctx context.Context) {
 	n.Metrics.RepairSweeps.Inc()
 	n.probeMembers(ctx)
 	if ctx.Err() != nil {
 		return
 	}
+	n.expireUploads()
 	n.repairReplication(ctx)
 	n.Metrics.SuspectNodes.Set(float64(n.suspects.count()))
 }
@@ -204,7 +207,7 @@ func (n *Node) repairReplication(ctx context.Context) {
 		if ctx.Err() != nil {
 			break
 		}
-		if n.replicateLocal(h.ID) {
+		if n.replicateLocal(ctx, h.ID) {
 			handled = append(handled, h)
 		}
 	}
@@ -243,7 +246,7 @@ func (n *Node) repairDataset(ctx context.Context, id storage.DatasetID, target i
 	}
 	need := target - live
 	if !holders[n.cfg.Node] {
-		if n.replicateLocal(id) {
+		if n.replicateLocal(ctx, id) {
 			need--
 		}
 	}
@@ -260,13 +263,18 @@ func (n *Node) repairDataset(ctx context.Context, id storage.DatasetID, target i
 	}
 }
 
-// replicateLocal restores a copy of the dataset on this node: a
-// repository replica record, real bytes on the replica volume in disk
-// mode (re-materialized through the deterministic generator), and a
-// catalog announcement. Reports whether this node now newly counts as a
+// replicateLocal restores a copy of the dataset on this node and
+// announces it to the catalog. Seeded datasets re-materialize through
+// the deterministic generator; opaque (uploaded) datasets have no
+// generator, so their repair is a real byte transfer — a striped,
+// manifest-verified range download from surviving holders
+// (replicateByCopy). Reports whether this node now newly counts as a
 // holder; losing the AddReplica race to another repairer is a normal
 // outcome, not a failure.
-func (n *Node) replicateLocal(id storage.DatasetID) bool {
+func (n *Node) replicateLocal(ctx context.Context, id storage.DatasetID) bool {
+	if man, ok := n.manifests.Get(id); ok && man.Opaque {
+		return n.replicateByCopy(ctx, id, man)
+	}
 	size, err := n.catalog.DatasetBytes(id)
 	if err != nil {
 		return false
@@ -290,8 +298,86 @@ func (n *Node) replicateLocal(id storage.DatasetID) bool {
 		return false // already announced (origin copy or racing repairer)
 	}
 	n.Metrics.RepairReplicasRestored.Inc()
+	n.Metrics.IngestRepairRegenerated.Inc()
 	return true
 }
+
+// replicateByCopy restores an opaque dataset's replica by moving real
+// bytes: a parallel range download from the surviving holders, each
+// stripe digest-verified against the manifest in-stream, spilled to the
+// replica volume, size-checked, and only then committed and announced.
+// A corrupt or short transfer leaves no state.
+func (n *Node) replicateByCopy(ctx context.Context, id storage.DatasetID, man *ingest.Manifest) bool {
+	if n.vol == nil {
+		return false // opaque bytes only live as real files
+	}
+	reps, err := n.catalog.Replicas(id)
+	if err != nil {
+		return false
+	}
+	var eps []string
+	for _, rep := range reps {
+		if rep.Node == n.cfg.Node || !n.registry.Online(rep.Node) || n.suspects.isSuspect(rep.Node) {
+			continue
+		}
+		if u, ok := n.registry.BaseURL(rep.Node); ok {
+			eps = append(eps, u)
+		}
+	}
+	if len(eps) == 0 {
+		return false // nobody alive to copy from; next sweep retries
+	}
+	tok, err := n.auth.Login(socialnet.UserID(n.cfg.Node))
+	if err != nil {
+		n.Metrics.RepairFailures.Inc()
+		return false
+	}
+	sp, err := n.vol.NewSpill(id)
+	if err != nil {
+		n.Metrics.StoreSpillFailures.Inc()
+		return false
+	}
+	stripes := len(eps)
+	if stripes > repairCopyStripes {
+		stripes = repairCopyStripes
+	}
+	res, err := cdnclient.Download(ctx, cdnclient.TransferOptions{
+		Client: n.client, Endpoints: eps, Token: string(tok), Stripes: stripes,
+	}, man, sp)
+	if err != nil {
+		sp.Abort()
+		if ctx.Err() == nil {
+			n.Metrics.RepairFailures.Inc()
+		}
+		return false
+	}
+	// In-stream verification covered the wire; CommitVerified's stat
+	// check covers the file length the stripes actually produced.
+	if err := sp.CommitVerified(man.Size, nil, false); err != nil {
+		n.Metrics.RepairFailures.Inc()
+		return false
+	}
+	n.repoMu.Lock()
+	if !n.repo.HasLocal(id) {
+		err = n.repo.StoreReplica(id, man.Size, n.now())
+	}
+	n.repoMu.Unlock()
+	if err != nil {
+		n.Metrics.RepairFailures.Inc()
+		n.vol.Remove(id)
+		return false
+	}
+	n.Metrics.IngestRepairCopies.Inc()
+	n.Metrics.IngestRepairCopyBytes.Add(uint64(res.Bytes))
+	if err := n.catalog.AddReplica(id, n.cfg.Node, n.now()); err != nil {
+		return false // already announced (racing repairer); the bytes stay
+	}
+	n.Metrics.RepairReplicasRestored.Inc()
+	return true
+}
+
+// repairCopyStripes caps the parallel range fan-out of one repair copy.
+const repairCopyStripes = 4
 
 // requestPeerReplica asks a surviving peer to adopt a replica. The
 // sweeper authenticates as its node's own platform user, so the peer

@@ -1,36 +1,20 @@
 package server
 
 import (
-	"net"
 	"net/http"
 	"time"
+
+	"scdn/internal/transport"
 )
 
-// sharedTransport is the delivery plane's one tuned HTTP transport,
-// shared by every in-process client of the cluster: the edges' peer
-// clients, striped fetches, and load-generator workers. The stock
-// http.DefaultTransport keeps only two idle connections per host, so a
-// 32-worker load generator (or a node proxying a hot dataset) churns
-// through TCP handshakes as fast as it closes sockets; here the per-host
-// idle pool is sized for a striped fan-out and keep-alives stay on, so
-// peer hops and stripes ride warm connections.
-var sharedTransport = &http.Transport{
-	Proxy: http.ProxyFromEnvironment,
-	DialContext: (&net.Dialer{
-		Timeout:   10 * time.Second,
-		KeepAlive: 30 * time.Second,
-	}).DialContext,
-	MaxIdleConns:        512,
-	MaxIdleConnsPerHost: 64,
-	IdleConnTimeout:     90 * time.Second,
-}
-
-// SharedTransport returns the process-wide tuned transport. Callers must
+// SharedTransport returns the process-wide tuned transport (see
+// internal/transport, where it lives so client packages can share the
+// connection pool without importing the serving plane). Callers must
 // not mutate it.
-func SharedTransport() *http.Transport { return sharedTransport }
+func SharedTransport() *http.Transport { return transport.Shared() }
 
 // NewHTTPClient returns an HTTP client over the shared transport.
 // timeout <= 0 means no client-level timeout.
 func NewHTTPClient(timeout time.Duration) *http.Client {
-	return &http.Client{Transport: sharedTransport, Timeout: timeout}
+	return transport.NewClient(timeout)
 }

@@ -56,9 +56,10 @@ type DiskVolume struct {
 const maxPooledFDs = 4
 
 type diskEntry struct {
-	id   DatasetID
-	size int64
-	fds  []*os.File // idle read handles, LIFO
+	id     DatasetID
+	size   int64
+	fds    []*os.File // idle read handles, LIFO
+	pinned bool       // never evicted (origin/user-partition copies)
 }
 
 // DiskVolumeStats is a point-in-time usage snapshot.
@@ -124,7 +125,7 @@ func (v *DiskVolume) recover() error {
 			continue
 		}
 		v.mu.Lock()
-		cs := v.insertLocked(DatasetID(name), info.Size())
+		cs := v.insertLocked(DatasetID(name), info.Size(), false)
 		v.mu.Unlock()
 		v.reap(cs) // adopted files may already exceed the quota
 	}
@@ -275,28 +276,44 @@ func (v *DiskVolume) reap(cs []cleanup) {
 
 // insertLocked records a committed file and returns the deferred
 // cleanups of any entries evicted to make room. Caller holds v.mu.
-func (v *DiskVolume) insertLocked(id DatasetID, size int64) []cleanup {
-	el := v.ll.PushFront(&diskEntry{id: id, size: size})
+func (v *DiskVolume) insertLocked(id DatasetID, size int64, pin bool) []cleanup {
+	el := v.ll.PushFront(&diskEntry{id: id, size: size, pinned: pin})
 	v.items[id] = el
 	v.used += size
 	return v.evictOverQuotaLocked(el)
 }
 
 // evictOverQuotaLocked drops least-recently-used replicas from the
-// index until the volume fits its quota, never evicting keep. The file
-// I/O is returned as cleanups for the caller to perform after v.mu is
+// index until the volume fits its quota, never evicting keep or pinned
+// entries (origin copies of opaque datasets exist nowhere else — losing
+// the last copy to cache pressure would lose the data). The file I/O is
+// returned as cleanups for the caller to perform after v.mu is
 // released.
 func (v *DiskVolume) evictOverQuotaLocked(keep *list.Element) []cleanup {
 	var cs []cleanup
-	for v.used > v.quota {
-		last := v.ll.Back()
-		if last == nil || last == keep {
-			break
+	el := v.ll.Back()
+	for v.used > v.quota && el != nil {
+		prev := el.Prev()
+		if el != keep && !el.Value.(*diskEntry).pinned {
+			cs = append(cs, v.removeLocked(el))
+			v.evictions++
 		}
-		cs = append(cs, v.removeLocked(last))
-		v.evictions++
+		el = prev
 	}
 	return cs
+}
+
+// Pin marks a committed replica as non-evictable: LRU pressure skips it
+// (Remove still deletes it explicitly). Reports whether the dataset was
+// present.
+func (v *DiskVolume) Pin(id DatasetID) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	el, ok := v.items[id]
+	if ok {
+		el.Value.(*diskEntry).pinned = true
+	}
+	return ok
 }
 
 // removeLocked drops an entry from the index and returns the deferred
@@ -314,8 +331,11 @@ func (v *DiskVolume) removeLocked(el *list.Element) cleanup {
 
 // Spill is an in-flight write of one dataset's bytes into the volume: a
 // temp file that becomes a committed replica only through Commit's
-// atomic rename. Spills are single-goroutine; the volume itself stays
-// concurrent around them.
+// atomic rename. Sequential Write/Commit/Abort are single-goroutine;
+// WriteAt may be called from many goroutines at once (striped
+// transfers), provided Commit/CommitVerified/Abort happen only after
+// every writer has returned. The volume itself stays concurrent around
+// spills.
 type Spill struct {
 	v    *DiskVolume
 	id   DatasetID
@@ -324,6 +344,10 @@ type Spill struct {
 	n    int64
 	err  error
 	done bool
+
+	// atMu guards the error state shared by concurrent WriteAt callers.
+	atMu  sync.Mutex
+	atErr error
 }
 
 // NewSpill opens a temp file for the dataset's bytes. The caller must
@@ -355,6 +379,30 @@ func (s *Spill) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// WriteAt writes p at absolute offset off in the temp file (pwrite).
+// Safe for concurrent use by the stripes of one parallel transfer; the
+// positioned writes do not disturb sequential Write's file offset, and
+// after the first failure the spill is poisoned the same as Write.
+// Byte accounting is by extent, so CommitVerified — which checks the
+// real file size — must be used to publish a striped spill.
+func (s *Spill) WriteAt(p []byte, off int64) (int, error) {
+	s.atMu.Lock()
+	err := s.atErr
+	s.atMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	n, err := s.f.WriteAt(p, off)
+	if err != nil {
+		s.atMu.Lock()
+		if s.atErr == nil {
+			s.atErr = err
+		}
+		s.atMu.Unlock()
+	}
+	return n, err
+}
+
 // Bytes returns how many bytes have been spilled so far.
 func (s *Spill) Bytes() int64 { return s.n }
 
@@ -378,6 +426,11 @@ func (s *Spill) Commit(want int64) error {
 	if s.done {
 		return fmt.Errorf("storage: spill %q already finished", s.id)
 	}
+	if s.err == nil {
+		s.atMu.Lock()
+		s.err = s.atErr
+		s.atMu.Unlock()
+	}
 	if s.err != nil {
 		s.Abort()
 		return fmt.Errorf("storage: spill %q failed: %w", s.id, s.err)
@@ -392,14 +445,65 @@ func (s *Spill) Commit(want int64) error {
 		return fmt.Errorf("storage: spill %q: %w", s.id, err)
 	}
 	s.done = true
-	return s.v.commit(s.id, s.path, want)
+	return s.v.commit(s.id, s.path, want, false)
+}
+
+// CommitVerified publishes the spill like Commit, but sizes the spill by
+// the real file length (so positioned WriteAt stripes count correctly)
+// and, when verify is non-nil, re-reads the finished temp file through
+// it before the rename — the replica becomes visible only if its
+// on-disk bytes pass. pin marks the committed entry non-evictable (the
+// origin copy of an uploaded dataset). On any failure the temp file is
+// removed and no replica appears.
+func (s *Spill) CommitVerified(want int64, verify func(io.Reader) error, pin bool) error {
+	if s.done {
+		return fmt.Errorf("storage: spill %q already finished", s.id)
+	}
+	if s.err == nil {
+		s.atMu.Lock()
+		s.err = s.atErr
+		s.atMu.Unlock()
+	}
+	if s.err != nil {
+		s.Abort()
+		return fmt.Errorf("storage: spill %q failed: %w", s.id, s.err)
+	}
+	if err := s.f.Close(); err != nil {
+		s.done = true
+		_ = os.Remove(s.path)
+		return fmt.Errorf("storage: spill %q: %w", s.id, err)
+	}
+	s.done = true
+	info, err := os.Stat(s.path)
+	if err != nil {
+		_ = os.Remove(s.path)
+		return fmt.Errorf("storage: spill %q: %w", s.id, err)
+	}
+	if info.Size() != want {
+		_ = os.Remove(s.path)
+		return fmt.Errorf("storage: spill %q holds %d of %d bytes", s.id, info.Size(), want)
+	}
+	if verify != nil {
+		f, err := os.Open(s.path)
+		if err != nil {
+			_ = os.Remove(s.path)
+			return fmt.Errorf("storage: spill %q: %w", s.id, err)
+		}
+		verr := verify(f)
+		_ = f.Close()
+		if verr != nil {
+			_ = os.Remove(s.path)
+			return fmt.Errorf("storage: spill %q rejected: %w", s.id, verr)
+		}
+	}
+	return s.v.commit(s.id, s.path, want, pin)
 }
 
 // commit renames a completed temp file into the data directory and
 // indexes it. The rename and the index insert happen under fsMu (not
 // v.mu), so eviction unlinks cannot interleave with the publish, while
 // readers on v.mu never wait on the disk.
-func (v *DiskVolume) commit(id DatasetID, tmpPath string, size int64) error {
+func (v *DiskVolume) commit(id DatasetID, tmpPath string, size int64, pin bool) error {
 	if size > v.quota {
 		_ = os.Remove(tmpPath)
 		return fmt.Errorf("storage: replica %q (%d bytes) exceeds volume quota %d", id, size, v.quota)
@@ -407,11 +511,16 @@ func (v *DiskVolume) commit(id DatasetID, tmpPath string, size int64) error {
 	v.fsMu.Lock()
 	defer v.fsMu.Unlock()
 	v.mu.Lock()
-	_, dup := v.items[id]
+	el, dup := v.items[id]
+	if dup && pin {
+		// The racer's copy carries identical (verified) bytes; keep it and
+		// take over only the pinning obligation.
+		el.Value.(*diskEntry).pinned = true
+	}
 	v.mu.Unlock()
 	if dup {
 		// A racing spill/materialization committed first. Bytes are
-		// deterministic per dataset, so the existing file is identical;
+		// content-addressed per dataset, so the existing file is identical;
 		// drop ours.
 		v.discardTmp(tmpPath)
 		return nil
@@ -422,7 +531,7 @@ func (v *DiskVolume) commit(id DatasetID, tmpPath string, size int64) error {
 		return fmt.Errorf("storage: commit %q: %w", id, err)
 	}
 	v.mu.Lock()
-	cs := v.insertLocked(id, size)
+	cs := v.insertLocked(id, size, pin)
 	v.mu.Unlock()
 	v.reap(cs)
 	return nil

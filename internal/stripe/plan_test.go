@@ -56,9 +56,51 @@ func TestPlanStripes(t *testing.T) {
 		{0, 4}, {-5, 4}, {1, 1}, {1, 8}, {5, 10}, {100, 4},
 		{64 << 10, 4}, {64<<10 + 1, 4}, {7, 3},
 		{math.MaxInt64, 7}, {math.MaxInt64, 1}, {100, -2}, {100, 1 << 30},
+		// Near-max totals whose chunk does not divide evenly: the final
+		// off += chunk used to overflow int64 and loop forever.
+		{math.MaxInt64, 10}, {math.MaxInt64 - 1, 7}, {math.MaxInt64, 1024},
 	}
 	for _, tc := range cases {
 		checkPlan(t, tc.total, tc.n, planStripes(tc.total, tc.n))
+	}
+}
+
+// checkAlignedPlan asserts the planStripesAligned contract: everything
+// checkPlan demands, plus every boundary except the dataset end falls on
+// a multiple of align.
+func checkAlignedPlan(t *testing.T, total int64, n int, align int64, plan []stripeRange) {
+	t.Helper()
+	checkPlan(t, total, n, plan)
+	if align <= 1 {
+		return
+	}
+	for i, p := range plan {
+		if p.Offset%align != 0 {
+			t.Fatalf("planStripesAligned(%d, %d, %d): stripe %d starts at %d, not %d-aligned",
+				total, n, align, i, p.Offset, align)
+		}
+		if end := p.Offset + p.Length; end%align != 0 && end != total {
+			t.Fatalf("planStripesAligned(%d, %d, %d): stripe %d ends at %d, neither %d-aligned nor total",
+				total, n, align, i, end, align)
+		}
+	}
+}
+
+func TestPlanStripesAligned(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+		align int64
+	}{
+		{0, 4, 1024}, {1, 4, 1024}, {1023, 4, 1024}, {1024, 4, 1024},
+		{1025, 4, 1024}, {64 << 10, 4, 1024}, {64<<10 + 1, 4, 1024},
+		{256 << 10, 4, 64 << 10}, {256<<10 + 17, 3, 64 << 10},
+		{100, 4, 0}, {100, 4, 1}, {5, 10, 2}, {7, 3, 4},
+		{math.MaxInt64, 7, 64 << 10}, {math.MaxInt64, 1, 1 << 40},
+		{1 << 40, 1024, 4096},
+	}
+	for _, tc := range cases {
+		checkAlignedPlan(t, tc.total, tc.n, tc.align, planStripesAligned(tc.total, tc.n, tc.align))
 	}
 }
 
@@ -71,6 +113,7 @@ func FuzzPlanStripes(f *testing.F) {
 	f.Add(int64(64<<10), 4)
 	f.Add(int64(math.MaxInt64), 7)
 	f.Add(int64(math.MaxInt64), 1)
+	f.Add(int64(math.MaxInt64), 10)
 	f.Add(int64(5), 10)
 	f.Add(int64(-1), 3)
 	f.Fuzz(func(t *testing.T, total int64, n int) {

@@ -4,7 +4,8 @@
 // — and reassembled into one verified stream. Each stripe is an HTTP
 // range request against the serving plane's GET /v1/fetch/{dataset}, so
 // any edge can serve any stripe (locally or via its own peer fallback),
-// and verification runs in-stream against the deterministic payload, so
+// and verification runs in-stream through a caller-supplied per-range
+// verifier (deterministic payload, manifest block digests, ...), so
 // memory stays flat no matter how large the dataset is.
 package stripe
 
@@ -17,19 +18,19 @@ import (
 	"sync"
 	"time"
 
-	"scdn/internal/server"
 	"scdn/internal/storage"
+	"scdn/internal/transport"
 )
 
-// defaultClient drives stripes over the serving plane's shared tuned
-// transport (raised per-host idle pool, keep-alives) when the caller
+// defaultClient drives stripes over the delivery plane's shared tuned
+// transport (raised per-host idle pool, keep-alives on) when the caller
 // supplies no client of their own.
-var defaultClient = server.NewHTTPClient(30 * time.Second)
+var defaultClient = transport.NewClient(30 * time.Second)
 
 // Options parameterizes a striped fetch.
 type Options struct {
 	// Client issues the HTTP requests. Nil means a package-default client
-	// over the serving plane's shared tuned transport.
+	// over the delivery plane's shared tuned transport.
 	Client *http.Client
 	// Endpoints are candidate base URLs ("http://host:port"). Stripe i
 	// targets Endpoints[i mod len] — pass replica holders first (e.g.
@@ -40,10 +41,18 @@ type Options struct {
 	// Stripes is the parallel range count (values < 1 mean 1). Datasets
 	// smaller than the stripe count use fewer, non-empty stripes.
 	Stripes int
-	// Verify checks every stripe in-stream against the deterministic
-	// payload; the fetch fails on the first corrupt, short, or surplus
-	// byte.
-	Verify bool
+	// NewVerifier, when non-nil, supplies an in-stream verifier for each
+	// planned range [off, off+length): the stripe's bytes pass through
+	// the verifier's Write as they arrive, and Close must confirm
+	// completeness — the fetch fails on the first corrupt, short, or
+	// surplus byte. A factory error fails the stripe before any byte
+	// moves.
+	NewVerifier func(off, length int64) (io.WriteCloser, error)
+	// Align, when > 1, makes every stripe boundary (except the dataset
+	// end) a multiple of Align. Block-aligned ranges are what manifest
+	// block-digest verifiers can check, so content-addressed transfers
+	// set Align to the manifest block size.
+	Align int64
 	// Dst, when non-nil, receives the reassembled payload at the correct
 	// offsets (stripes write concurrently, each to its own region).
 	Dst io.WriterAt
@@ -83,7 +92,7 @@ func Fetch(ctx context.Context, opts Options, id storage.DatasetID, total int64)
 	if total <= 0 {
 		return Result{}, fmt.Errorf("stripe: non-positive dataset size %d", total)
 	}
-	plan := planStripes(total, opts.Stripes)
+	plan := planStripesAligned(total, opts.Stripes, opts.Align)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -160,15 +169,80 @@ func planStripes(total int64, n int) []stripeRange {
 	if total%int64(n) != 0 {
 		chunk++
 	}
+	return fillPlan(total, n, chunk)
+}
+
+// fillPlan lays chunk-sized ranges over [0, total). The final (short)
+// range is detected by remainder, not by advancing off past total —
+// off + chunk can overflow int64 when total is near MaxInt64, and a
+// wrapped offset would loop forever.
+func fillPlan(total int64, n int, chunk int64) []stripeRange {
 	plan := make([]stripeRange, 0, n)
-	for off := int64(0); off < total; off += chunk {
-		length := chunk
-		if rem := total - off; rem < length {
-			length = rem
+	off := int64(0)
+	for {
+		rem := total - off
+		if rem <= chunk {
+			plan = append(plan, stripeRange{Offset: off, Length: rem})
+			return plan
 		}
-		plan = append(plan, stripeRange{Offset: off, Length: length})
+		plan = append(plan, stripeRange{Offset: off, Length: chunk})
+		off += chunk
 	}
-	return plan
+}
+
+// planStripesAligned is planStripes with every boundary (except the
+// dataset end) rounded to a multiple of align: the plan covers whole
+// align-sized blocks per stripe, at most n of them, so per-block digest
+// verification lines up with stripe edges. align <= 1 degrades to the
+// unaligned planner. The chunk arithmetic is overflow-safe at
+// total == math.MaxInt64.
+func planStripesAligned(total int64, n int, align int64) []stripeRange {
+	if align <= 1 {
+		return planStripes(total, n)
+	}
+	if total <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	blocks := total / align
+	if total%align != 0 {
+		blocks++
+	}
+	if int64(n) > blocks {
+		n = int(blocks)
+	}
+	per := blocks / int64(n)
+	if blocks%int64(n) != 0 {
+		per++
+	}
+	chunk := total // fallback: one stripe, when per*align would overflow
+	if per <= (int64(1)<<62)/align {
+		chunk = per * align
+	}
+	return fillPlan(total, n, chunk)
+}
+
+// Range is one planned byte range of a striped transfer.
+type Range struct {
+	Offset, Length int64
+}
+
+// Plan splits [0, total) into at most n contiguous non-empty ranges,
+// aligned to align when align > 1 (see planStripesAligned). It is the
+// exported planner for callers that drive their own transfer loop —
+// striped uploads use the same ranges a striped fetch would.
+func Plan(total int64, n int, align int64) []Range {
+	plan := planStripesAligned(total, n, align)
+	out := make([]Range, len(plan))
+	for i, p := range plan {
+		out[i] = Range{Offset: p.Offset, Length: p.Length}
+	}
+	return out
 }
 
 // drainLimit bounds how many bytes of an unwanted response body are read
@@ -208,9 +282,13 @@ func fetchOne(ctx context.Context, opts Options, id storage.DatasetID,
 	}
 
 	var w io.Writer = io.Discard
-	var verifier *server.RangeVerifier
-	if opts.Verify {
-		verifier = server.NewRangeVerifier(id, off, length)
+	var verifier io.WriteCloser
+	if opts.NewVerifier != nil {
+		verifier, err = opts.NewVerifier(off, length)
+		if err != nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+			return 0, src, fmt.Errorf("verifier: %w", err)
+		}
 		w = verifier
 	}
 	if opts.Dst != nil {

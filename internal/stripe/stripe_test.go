@@ -1,13 +1,16 @@
-package stripe
+package stripe_test
 
 import (
 	"bytes"
 	"context"
+	"io"
 	"net/http"
 	"testing"
 	"time"
 
 	"scdn/internal/server"
+	"scdn/internal/storage"
+	"scdn/internal/stripe"
 )
 
 // aligned buffer implementing io.WriterAt for reassembly checks.
@@ -18,6 +21,14 @@ type bufferAt struct {
 func (w *bufferAt) WriteAt(p []byte, off int64) (int, error) {
 	copy(w.b[off:], p)
 	return len(p), nil
+}
+
+// payloadVerifier adapts the serving plane's deterministic payload
+// verifier to the stripe package's injected-verifier contract.
+func payloadVerifier(id storage.DatasetID) func(off, length int64) (io.WriteCloser, error) {
+	return func(off, length int64) (io.WriteCloser, error) {
+		return server.NewRangeVerifier(id, off, length), nil
+	}
 }
 
 func startCluster(t *testing.T, cfg server.ClusterConfig) (*server.LocalCluster, string) {
@@ -44,9 +55,9 @@ func TestStripedFetchVerifiesAndReassembles(t *testing.T) {
 	total := lc.Config.DatasetBytes
 	dst := &bufferAt{b: make([]byte, total)}
 
-	res, err := Fetch(context.Background(), Options{
+	res, err := stripe.Fetch(context.Background(), stripe.Options{
 		Client: client, Endpoints: lc.URLs(), Token: tok,
-		Stripes: 4, Verify: true, Dst: dst,
+		Stripes: 4, NewVerifier: payloadVerifier("ds-001"), Dst: dst,
 	}, "ds-001", total)
 	if err != nil {
 		t.Fatal(err)
@@ -90,9 +101,9 @@ func TestStripedFetchClipsSmallDatasets(t *testing.T) {
 		Nodes: 1, Users: 1, Datasets: 1, DatasetBytes: 3,
 	})
 	client := &http.Client{Timeout: 10 * time.Second}
-	res, err := Fetch(context.Background(), Options{
+	res, err := stripe.Fetch(context.Background(), stripe.Options{
 		Client: client, Endpoints: lc.URLs(), Token: tok,
-		Stripes: 8, Verify: true,
+		Stripes: 8, NewVerifier: payloadVerifier("ds-001"),
 	}, "ds-001", 3)
 	if err != nil {
 		t.Fatal(err)
@@ -107,9 +118,9 @@ func TestStripedFetchDetectsWrongSize(t *testing.T) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	// Claim the dataset is larger than it is: the stripe past the real
 	// end must fail with 416, and the fetch must fail loudly.
-	if _, err := Fetch(context.Background(), Options{
+	if _, err := stripe.Fetch(context.Background(), stripe.Options{
 		Client: client, Endpoints: lc.URLs(), Token: tok,
-		Stripes: 4, Verify: true,
+		Stripes: 4, NewVerifier: payloadVerifier("ds-001"),
 	}, "ds-001", lc.Config.DatasetBytes*2); err == nil {
 		t.Fatal("oversized fetch succeeded")
 	}
@@ -118,9 +129,9 @@ func TestStripedFetchDetectsWrongSize(t *testing.T) {
 func TestStripedFetchAuthRequired(t *testing.T) {
 	lc, _ := startCluster(t, server.ClusterConfig{Nodes: 1, Users: 1, Datasets: 1})
 	client := &http.Client{Timeout: 10 * time.Second}
-	if _, err := Fetch(context.Background(), Options{
+	if _, err := stripe.Fetch(context.Background(), stripe.Options{
 		Client: client, Endpoints: lc.URLs(), Token: "bogus",
-		Stripes: 2, Verify: true,
+		Stripes: 2, NewVerifier: payloadVerifier("ds-001"),
 	}, "ds-001", lc.Config.DatasetBytes); err == nil {
 		t.Fatal("unauthenticated striped fetch succeeded")
 	}
@@ -128,10 +139,12 @@ func TestStripedFetchAuthRequired(t *testing.T) {
 
 func TestFetchValidation(t *testing.T) {
 	client := &http.Client{}
-	if _, err := Fetch(context.Background(), Options{Client: client}, "d", 1); err == nil {
+	if _, err := stripe.Fetch(context.Background(), stripe.Options{Client: client}, "d", 1); err == nil {
 		t.Fatal("no endpoints accepted")
 	}
-	if _, err := Fetch(context.Background(), Options{Client: client, Endpoints: []string{"x"}}, "d", 0); err == nil {
+	if _, err := stripe.Fetch(context.Background(), stripe.Options{
+		Client: client, Endpoints: []string{"x"},
+	}, "d", 0); err == nil {
 		t.Fatal("zero size accepted")
 	}
 }
@@ -145,9 +158,9 @@ func TestStripedFetchDiskStore(t *testing.T) {
 
 	// Nil client: the package-default shared-transport client drives the
 	// stripes; every stripe rides the disk-backed sendfile path.
-	res, err := Fetch(context.Background(), Options{
+	res, err := stripe.Fetch(context.Background(), stripe.Options{
 		Endpoints: lc.URLs(), Token: tok,
-		Stripes: 4, Verify: true, Dst: dst,
+		Stripes: 4, NewVerifier: payloadVerifier("ds-001"), Dst: dst,
 	}, "ds-001", total)
 	if err != nil {
 		t.Fatal(err)

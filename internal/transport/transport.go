@@ -1,0 +1,39 @@
+// Package transport holds the delivery plane's process-wide tuned HTTP
+// transport. It sits below every networked package (server, stripe,
+// cdnclient) so all of them can share one connection pool without
+// importing each other: the serving plane's peer clients, striped
+// fetches, repair byte copies, and load-generator workers all ride the
+// same warm keep-alive sockets.
+package transport
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// shared is the one tuned transport. The stock http.DefaultTransport
+// keeps only two idle connections per host, so a 32-worker load
+// generator (or a node proxying a hot dataset) churns through TCP
+// handshakes as fast as it closes sockets; here the per-host idle pool
+// is sized for a striped fan-out and keep-alives stay on.
+var shared = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// Shared returns the process-wide tuned transport. Callers must not
+// mutate it.
+func Shared() *http.Transport { return shared }
+
+// NewClient returns an HTTP client over the shared transport.
+// timeout <= 0 means no client-level timeout.
+func NewClient(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: shared, Timeout: timeout}
+}
