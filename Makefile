@@ -35,11 +35,17 @@
 #                  satisfied by verified peer byte copy — zero digest
 #                  mismatches, zero generator fallbacks (writes
 #                  BENCH_ingest.json).
+#   make perfgate — the performance ratchet: a fixed-seed open-loop
+#                  sweep (arrivals fired on schedule, latency from
+#                  intended start times) writes a candidate record,
+#                  which scdn-perfgate compares against the checked-in
+#                  BENCH_delivery.json — knee throughput and knee p99
+#                  must stay inside the tolerance band.
 
 GO ?= go
 
 .PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen \
-	ci fmtcheck modverify churnsmoke ingestsmoke
+	ci fmtcheck modverify churnsmoke ingestsmoke perfgate
 
 check: vet lint test race fuzzsmoke benchsmoke
 
@@ -76,7 +82,7 @@ vet:
 # tests.
 race:
 	$(GO) test -race ./internal/allocation ./internal/cdnclient ./internal/ingest \
-		./internal/metrics ./internal/middleware \
+		./internal/loadharness ./internal/metrics ./internal/middleware \
 		./internal/placement ./internal/server ./internal/socialnet \
 		./internal/storage ./internal/stripe
 
@@ -88,13 +94,16 @@ fuzzsmoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -cpu 4 ./...
 	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -store generated -bench-out BENCH_delivery_generated.json
-	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -store dir -bench-out BENCH_delivery.json
+	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 400 -stripes 4 -store dir -bench-out BENCH_delivery_closed.json
+	$(GO) run ./cmd/scdn-loadgen -openloop -nodes 3 -datasets 8 -store dir \
+		-rates 200,400,800,1600 -openloop-duration 2s -seed 42 -bench-out BENCH_delivery.json
 
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/server
-	$(GO) run ./cmd/scdn-loadgen -nodes 2 -workers 4 -requests 80 -store dir -bench-out BENCH_delivery.json
-	grep -q '"payload_mode": "dir"' BENCH_delivery.json
-	grep -q '"failed": 0' BENCH_delivery.json
+	$(GO) run ./cmd/scdn-loadgen -nodes 2 -workers 4 -requests 80 -store dir -bench-out BENCH_delivery_smoke.json
+	grep -q '"payload_mode": "dir"' BENCH_delivery_smoke.json
+	grep -q '"failed": 0' BENCH_delivery_smoke.json
+	grep -q '"schema_version": 2' BENCH_delivery_smoke.json
 
 loadgen:
 	$(GO) run ./cmd/scdn-loadgen -nodes 3 -workers 8 -requests 600
@@ -122,3 +131,18 @@ ingestsmoke:
 	grep -q '"digest_mismatches": 0' BENCH_ingest.json
 	grep -q '"repair_regenerated": 0' BENCH_ingest.json
 	grep -q '"reconciled": true' BENCH_ingest.json
+
+# Fixed seed so the sweep's arrival schedule is identical across runs.
+# The open-loop run itself fails on any unexcused request failure or
+# /metrics mismatch; scdn-perfgate then ratchets the candidate's knee
+# against the checked-in history. The tolerance band is loose on purpose
+# (shared runners, loopback jitter) but a real regression — knee
+# throughput halved, knee p99 blown past the floor — fails the gate.
+# To advance the baseline after an intentional change, copy the
+# candidate over BENCH_delivery.json and check it in.
+perfgate:
+	$(GO) run ./cmd/scdn-loadgen -openloop -nodes 3 -datasets 8 -store dir \
+		-rates 200,400,800,1600 -openloop-duration 2s -seed 42 \
+		-bench-out BENCH_openloop_candidate.json
+	$(GO) run ./cmd/scdn-perfgate -baseline BENCH_delivery.json \
+		-candidate BENCH_openloop_candidate.json

@@ -13,6 +13,7 @@ import (
 
 	"scdn/internal/cdnclient"
 	"scdn/internal/ingest"
+	"scdn/internal/loadharness"
 	"scdn/internal/server"
 	"scdn/internal/storage"
 )
@@ -324,8 +325,10 @@ func runIngest(p ingestParams) {
 	}
 
 	if p.benchOut != "" {
-		if err := writeBenchRecord(p.benchOut, benchIngestRecord{
-			Mode: "ingest", Edges: p.nodes, Workers: p.workers,
+		if err := loadharness.WriteRecord(p.benchOut, benchIngestRecord{
+			SchemaVersion: loadharness.SchemaVersion,
+			Host:          loadharness.CurrentHost(),
+			Mode:          "ingest", Edges: p.nodes, Workers: p.workers,
 			Datasets: p.datasets, BytesPerDataset: p.bytesPer,
 			Stripes: p.stripes, Fetches: fetched.Load(),
 			ElapsedSeconds:   elapsed.Seconds(),
@@ -355,23 +358,25 @@ func runIngest(p ingestParams) {
 // benchIngestRecord is the BENCH_ingest.json schema: the live-ingest
 // data plane's acceptance record across PRs.
 type benchIngestRecord struct {
-	Mode             string      `json:"mode"`
-	Edges            int         `json:"edges"`
-	Workers          int         `json:"workers"`
-	Datasets         int         `json:"datasets"`
-	BytesPerDataset  int64       `json:"bytes_per_dataset"`
-	Stripes          int         `json:"stripes"`
-	Fetches          uint64      `json:"fetches"`
-	ElapsedSeconds   float64     `json:"elapsed_seconds"`
-	Failed           uint64      `json:"failed"`
-	DigestMismatches uint64      `json:"digest_mismatches"`
-	Uploads          uint64      `json:"uploads"`
-	UploadBytes      uint64      `json:"upload_bytes"`
-	RepairCopies     uint64      `json:"repair_copies"`
-	RepairCopyBytes  uint64      `json:"repair_copy_bytes"`
-	RepairRegen      uint64      `json:"repair_regenerated"`
-	Churn            *benchChurn `json:"churn,omitempty"`
-	Reconciled       bool        `json:"reconciled"`
+	SchemaVersion    int                      `json:"schema_version"`
+	Host             loadharness.Host         `json:"host"`
+	Mode             string                   `json:"mode"`
+	Edges            int                      `json:"edges"`
+	Workers          int                      `json:"workers"`
+	Datasets         int                      `json:"datasets"`
+	BytesPerDataset  int64                    `json:"bytes_per_dataset"`
+	Stripes          int                      `json:"stripes"`
+	Fetches          uint64                   `json:"fetches"`
+	ElapsedSeconds   float64                  `json:"elapsed_seconds"`
+	Failed           uint64                   `json:"failed"`
+	DigestMismatches uint64                   `json:"digest_mismatches"`
+	Uploads          uint64                   `json:"uploads"`
+	UploadBytes      uint64                   `json:"upload_bytes"`
+	RepairCopies     uint64                   `json:"repair_copies"`
+	RepairCopyBytes  uint64                   `json:"repair_copy_bytes"`
+	RepairRegen      uint64                   `json:"repair_regenerated"`
+	Churn            *loadharness.ChurnRecord `json:"churn,omitempty"`
+	Reconciled       bool                     `json:"reconciled"`
 }
 
 // memWriterAt is an in-memory io.WriterAt over a pre-sized buffer.

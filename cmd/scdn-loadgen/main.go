@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scdn/internal/loadharness"
 	"scdn/internal/server"
 	"scdn/internal/storage"
 	"scdn/internal/stripe"
@@ -66,8 +67,31 @@ func main() {
 		store       = flag.String("store", "generated", "payload store for the in-process cluster: generated or dir")
 		churnFlag   = flag.String("churn", "", "inject node churn, e.g. 'kill=2,restart=5s' (in-process mode only)")
 		ingestMode  = flag.Bool("ingest", false, "ingest mode: upload opaque datasets, fetch under churn, require repair-by-copy")
+		openLoop    = flag.Bool("openloop", false, "open-loop mode: sweep seeded arrival rates, latency from intended start times")
+		ratesFlag   = flag.String("rates", "200,400,800,1600", "arrival-rate ladder in req/s for -openloop")
+		olDuration  = flag.Duration("openloop-duration", 2*time.Second, "per-rate schedule duration for -openloop")
+		maxConns    = flag.Int("max-conns", 64, "open-loop connection pool bound (queueing past it is charged to latency)")
+		distFlag    = flag.String("dist", loadharness.DistExponential, "inter-arrival distribution for -openloop: exp or uniform")
 	)
 	flag.Parse()
+
+	if *openLoop {
+		if *churnFlag != "" || *ingestMode {
+			fatal(fmt.Errorf("-openloop cannot be combined with -churn or -ingest"))
+		}
+		rates, err := parseRates(*ratesFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runOpenLoop(openLoopParams{
+			nodes: *nodes, targets: *targets, datasets: *datasets,
+			bytesPer: *bytesPer, rates: rates, duration: *olDuration,
+			maxConns: *maxConns, dist: *distFlag, seed: *seed,
+			pull: *pullThrough, verify: *verify, store: *store,
+			benchOut: *benchOut,
+		})
+		return
+	}
 
 	if *ingestMode {
 		if *targets != "" {
@@ -350,10 +374,7 @@ func main() {
 
 	cacheHits := delta["scdn_payload_cache_hits_total"]
 	cacheMisses := delta["scdn_payload_cache_misses_total"]
-	hitRate := 0.0
-	if cacheHits+cacheMisses > 0 {
-		hitRate = float64(cacheHits) / float64(cacheHits+cacheMisses)
-	}
+	hitRate := loadharness.HitRate(cacheHits, cacheMisses)
 	fmt.Printf("cluster delta: fetch=%d failures=%d local=%d peer=%d origin=%d retries=%d ranges=%d latency-samples=%d\n",
 		delta["scdn_fetch_requests_total"], delta["scdn_fetch_failures_total"],
 		delta["scdn_local_hits_total"], delta["scdn_peer_hits_total"],
@@ -426,14 +447,17 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
-		if err := writeBenchRecord(*benchOut, benchRecord{
-			Workers: *workers, Requests: int(issued.Load()), Stripes: int(fetchesPerRequest),
+		if err := loadharness.WriteRecord(*benchOut, loadharness.DeliveryRecord{
+			SchemaVersion: loadharness.SchemaVersion,
+			Host:          loadharness.CurrentHost(),
+			Mode:          "closed-loop",
+			Workers:       *workers, Requests: int(issued.Load()), Stripes: int(fetchesPerRequest),
 			Edges: len(urls), Datasets: *datasets, BytesPerDataset: *bytesPer,
 			PayloadMode:    payloadMode,
 			ElapsedSeconds: elapsed.Seconds(),
 			ThroughputRPS:  float64(issued.Load()) / elapsed.Seconds(),
 			ThroughputMBps: mb / elapsed.Seconds(),
-			LatencyMS: latencyMS{Mean: s.Mean * 1000, P50: s.P50 * 1000,
+			LatencyMS: loadharness.Latency{Mean: s.Mean * 1000, P50: s.P50 * 1000,
 				P95: s.P95 * 1000, P99: s.P99 * 1000},
 			Failed:        failed.Load(),
 			CacheHits:     cacheHits,
@@ -456,51 +480,13 @@ func main() {
 	}
 }
 
-// benchRecord is the machine-readable BENCH_delivery.json schema: the
-// delivery plane's perf trajectory across PRs.
-type benchRecord struct {
-	Workers         int       `json:"workers"`
-	Requests        int       `json:"requests"`
-	Stripes         int       `json:"stripes"`
-	Edges           int       `json:"edges"`
-	Datasets        int       `json:"datasets"`
-	BytesPerDataset int64     `json:"bytes_per_dataset"`
-	PayloadMode     string    `json:"payload_mode"`
-	ElapsedSeconds  float64   `json:"elapsed_seconds"`
-	ThroughputRPS   float64   `json:"throughput_rps"`
-	ThroughputMBps  float64   `json:"throughput_mbps"`
-	LatencyMS       latencyMS `json:"latency_ms"`
-	Failed          uint64    `json:"failed"`
-	CacheHits       uint64    `json:"payload_cache_hits"`
-	CacheMisses     uint64    `json:"payload_cache_misses"`
-	CacheHitRate    float64   `json:"payload_cache_hit_rate"`
-	RangeRequests   uint64    `json:"range_requests"`
-	Reconciled      bool      `json:"reconciled"`
-	// Churn is present only for churn-mode runs.
-	Churn *benchChurn `json:"churn,omitempty"`
-}
-
-// benchChurn records a churn run's self-healing outcome in the
-// benchmark artifact.
-type benchChurn struct {
-	Spec             string `json:"spec"`
-	Kills            int    `json:"kills"`
-	Restarts         int    `json:"restarts"`
-	AllRestarted     bool   `json:"all_restarted"`
-	ExcusedFailures  uint64 `json:"excused_failures"`
-	DeadMembers      uint64 `json:"repair_dead_members"`
-	Readmissions     uint64 `json:"repair_readmissions"`
-	ReplicasRestored uint64 `json:"repair_replicas_restored"`
-	Churn503s        uint64 `json:"churn_unavailable"`
-}
-
-// churnBenchInfo shapes the optional churn section of the record.
+// churnBenchInfo shapes the optional churn section of a BENCH record.
 func churnBenchInfo(ran bool, spec string, sum server.ChurnSummary, excused uint64,
-	delta map[string]uint64) *benchChurn {
+	delta map[string]uint64) *loadharness.ChurnRecord {
 	if !ran {
 		return nil
 	}
-	return &benchChurn{
+	return &loadharness.ChurnRecord{
 		Spec:             spec,
 		Kills:            sum.Kills,
 		Restarts:         sum.Restarts,
@@ -511,21 +497,6 @@ func churnBenchInfo(ran bool, spec string, sum server.ChurnSummary, excused uint
 		ReplicasRestored: delta["scdn_repair_replicas_restored_total"],
 		Churn503s:        delta["scdn_churn_unavailable_total"],
 	}
-}
-
-type latencyMS struct {
-	Mean float64 `json:"mean"`
-	P50  float64 `json:"p50"`
-	P95  float64 `json:"p95"`
-	P99  float64 `json:"p99"`
-}
-
-func writeBenchRecord(path string, rec any) error {
-	b, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // drain reads the remainder of an unwanted response body to EOF

@@ -1,0 +1,70 @@
+// Command scdn-perfgate is the delivery plane's performance ratchet: it
+// compares a freshly measured open-loop BENCH record against the
+// checked-in baseline and exits non-zero when the candidate regressed
+// past the tolerance band — knee throughput down by more than
+// -tolerance, knee p99 inflated past -p99-inflation (above an absolute
+// floor that keeps loopback-jitter baselines from flaking), any failed
+// requests, or a reconciliation mismatch.
+//
+// Usage (what `make perfgate` runs):
+//
+//	scdn-loadgen -openloop -store dir -bench-out BENCH_openloop_candidate.json
+//	scdn-perfgate -baseline BENCH_delivery.json -candidate BENCH_openloop_candidate.json
+//
+// A baseline predating the open-loop schema (no open_loop section)
+// cannot anchor the ratchet; the candidate then only has to be healthy,
+// and checking it in starts the ratchet for the next run.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"scdn/internal/loadharness"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_delivery.json", "checked-in open-loop BENCH record")
+		candidate = flag.String("candidate", "BENCH_openloop_candidate.json", "freshly measured open-loop record")
+		tolerance = flag.Float64("tolerance", 0.5, "allowed fractional knee-throughput regression (0.5 = fail below half the baseline)")
+		inflation = flag.Float64("p99-inflation", 4, "allowed knee-p99 growth factor")
+	)
+	flag.Parse()
+
+	base, err := loadharness.ReadDeliveryRecord(*baseline)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			fatal(err)
+		}
+		// First run on a fresh checkout: nothing to ratchet against yet.
+		fmt.Printf("scdn-perfgate: no baseline at %s; checking candidate health only\n", *baseline)
+		base = nil
+	}
+	cand, err := loadharness.ReadDeliveryRecord(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+	if err := loadharness.CompareDelivery(base, cand, loadharness.GateOptions{
+		Tolerance:       *tolerance,
+		MaxP99Inflation: *inflation,
+	}); err != nil {
+		fatal(err)
+	}
+	if base != nil && base.OpenLoop != nil && base.OpenLoop.Knee != nil {
+		b, c := base.OpenLoop.Knee, cand.OpenLoop.Knee
+		fmt.Printf("scdn-perfgate: OK — knee %.1f req/s @ p99 %.2fms (baseline %.1f req/s @ p99 %.2fms, tolerance %.0f%%)\n",
+			c.AchievedRPS, c.P99MS, b.AchievedRPS, b.P99MS, *tolerance*100)
+	} else {
+		k := cand.OpenLoop.Knee
+		fmt.Printf("scdn-perfgate: OK — no open-loop baseline; candidate knee %.1f req/s @ p99 %.2fms starts the ratchet\n",
+			k.AchievedRPS, k.P99MS)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scdn-perfgate:", err)
+	os.Exit(1)
+}

@@ -192,5 +192,6 @@ func All() []*Analyzer {
 		AtomicCopy(),
 		CtxHTTP(DefaultCtxHTTPPackages),
 		GoroutineLeak(DefaultGoroutineLeakPackages),
+		PoolPut(DefaultPoolPutPackages),
 	}
 }

@@ -123,6 +123,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"atomiccopy", "fixtures/atomiccopy", []*Analyzer{AtomicCopy()}},
 		{"ctxhttp", "fixtures/ctxhttp", []*Analyzer{CtxHTTP([]string{"fixtures/ctxhttp"})}},
 		{"goroutineleak", "fixtures/goroutineleak", []*Analyzer{GoroutineLeak([]string{"fixtures/goroutineleak"})}},
+		{"poolput", "fixtures/poolput", []*Analyzer{PoolPut([]string{"fixtures/poolput"})}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefaultPoolPutPackages are the packages where every sync.Pool.Get
+// must provably return its object: the serving plane's hot paths lean
+// on pooled scratch (copy buffers, per-request header state) for their
+// zero-allocation budgets, and a Get whose Put is skipped on one error
+// path quietly turns the pool into a per-request allocator — the alloc
+// regression tests then fail far from the line that caused it.
+var DefaultPoolPutPackages = []string{
+	"scdn/internal/server",
+}
+
+// PoolPut returns the poolput analyzer for the given package list. A
+// call to Get on a sync.Pool is accepted when the same function (or a
+// function literal deferred by it) defers a Put on the same pool —
+// covering every exit — or when a plain Put on that pool follows the
+// Get with no return statement between them. Everything else is
+// reported: a Put that a return can jump over is a leak on exactly the
+// paths that are hardest to test. Test files are exempt.
+func PoolPut(packages []string) *Analyzer {
+	set := make(map[string]bool, len(packages))
+	for _, p := range packages {
+		set[p] = true
+	}
+	a := &Analyzer{
+		Name: "poolput",
+		Doc:  "every serving-plane sync.Pool.Get needs a deferred or all-paths Put",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Packages {
+			if !set[strings.TrimSuffix(pkg.Path, "_test")] || pkg.Info == nil {
+				continue
+			}
+			for _, f := range pkg.Files {
+				pos := pkg.Fset.Position(f.Pos())
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						if fn.Body != nil {
+							checkPoolBody(pass, pkg, fn.Body)
+						}
+					case *ast.FuncLit:
+						checkPoolBody(pass, pkg, fn.Body)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// poolCall is one Get/Put touch on a pool within a function body.
+type poolCall struct {
+	pool     string    // textual pool expression, the identity key
+	pos      token.Pos // for ordering within the body
+	deferred bool
+}
+
+// checkPoolBody analyzes one function body's own statements (nested
+// function literals are analyzed separately by the caller's walk, except
+// that a deferred literal's Puts count for this body — `defer func() {
+// p.Put(x) }()` is this function's cleanup).
+func checkPoolBody(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	var gets, puts []poolCall
+	var returns []token.Pos
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x == root {
+					return true
+				}
+				return false // analyzed as its own body
+			case *ast.DeferStmt:
+				// The deferred call runs on every exit of *this* function.
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(x.Call, true)
+				}
+				return false
+			case *ast.ReturnStmt:
+				if !deferred {
+					returns = append(returns, x.Pos())
+				}
+			case *ast.CallExpr:
+				pool, method, ok := poolMethodCall(pkg, x)
+				if !ok {
+					return true
+				}
+				c := poolCall{pool: pool, pos: x.Pos(), deferred: deferred}
+				switch method {
+				case "Get":
+					if !deferred {
+						gets = append(gets, c)
+					}
+				case "Put":
+					puts = append(puts, c)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	for _, g := range gets {
+		if poolGetCovered(g, puts, returns) {
+			continue
+		}
+		pass.Reportf(pkg, g.pos,
+			"sync.Pool Get on %s without a deferred or all-paths Put; defer %s.Put(...) right after Get so every return recycles the object", g.pool, g.pool)
+	}
+}
+
+// poolGetCovered reports whether one Get has a covering Put: a deferred
+// Put on the same pool anywhere in the body, or a plain Put after the
+// Get with no return statement in between.
+func poolGetCovered(g poolCall, puts []poolCall, returns []token.Pos) bool {
+	for _, p := range puts {
+		if p.pool != g.pool {
+			continue
+		}
+		if p.deferred {
+			return true
+		}
+		if p.pos <= g.pos {
+			continue
+		}
+		escaped := false
+		for _, r := range returns {
+			if r > g.pos && r < p.pos {
+				escaped = true
+				break
+			}
+		}
+		if !escaped {
+			return true
+		}
+	}
+	return false
+}
+
+// poolMethodCall matches a call of the form <expr>.Get() / <expr>.Put(x)
+// where <expr> is a sync.Pool or *sync.Pool, returning the pool
+// expression's text as its identity.
+func poolMethodCall(pkg *Package, call *ast.CallExpr) (pool, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return "", "", false
+	}
+	s, found := pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	recv := s.Recv().String()
+	if recv != "sync.Pool" && recv != "*sync.Pool" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,93 @@
+// Package poolput exercises the poolput analyzer: every sync.Pool.Get
+// must be covered by a deferred Put or by a plain Put no return can
+// jump over.
+package poolput
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf [64]byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+var other = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+func use(*scratch) error { return nil }
+
+// leakOnError Gets but an early return skips the Put — reported.
+func leakOnError() error {
+	sc := pool.Get().(*scratch) // want "without a deferred or all-paths Put"
+	if err := use(sc); err != nil {
+		return err
+	}
+	pool.Put(sc)
+	return nil
+}
+
+// neverPut Gets and forgets entirely — reported.
+func neverPut() *scratch {
+	return pool.Get().(*scratch) // want "without a deferred or all-paths Put"
+}
+
+// deferredPut is the canonical safe shape.
+func deferredPut() error {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return use(sc)
+}
+
+// straightLine Puts before any return can intervene — safe.
+func straightLine() {
+	sc := pool.Get().(*scratch)
+	_ = use(sc)
+	pool.Put(sc)
+}
+
+// deferredClosure recycles inside a deferred literal — safe.
+func deferredClosure() error {
+	sc := pool.Get().(*scratch)
+	defer func() {
+		sc.buf[0] = 0
+		pool.Put(sc)
+	}()
+	return use(sc)
+}
+
+// closureOwnsGet: the Get lives in a function literal with its own
+// deferred Put; the literal is analyzed as its own body — safe.
+func closureOwnsGet() func() error {
+	return func() error {
+		sc := pool.Get().(*scratch)
+		defer pool.Put(sc)
+		return use(sc)
+	}
+}
+
+// wrongPool defers a Put on a different pool: the Get on pool is still
+// uncovered — reported.
+func wrongPool() error {
+	sc := pool.Get().(*scratch) // want "without a deferred or all-paths Put"
+	o := other.Get().(*scratch)
+	defer other.Put(o)
+	if err := use(sc); err != nil {
+		return errors.New("scratch lost")
+	}
+	pool.Put(sc)
+	return nil
+}
+
+// pointerPool covers Get/Put through a *sync.Pool receiver — safe.
+func pointerPool(p *sync.Pool) error {
+	sc := p.Get().(*scratch)
+	defer p.Put(sc)
+	return use(sc)
+}
+
+// suppressed demonstrates the escape hatch for a handoff where the
+// object is intentionally recycled elsewhere.
+func suppressed() *scratch {
+	//lint:ignore poolput ownership transfers to the caller, which Puts
+	return pool.Get().(*scratch)
+}

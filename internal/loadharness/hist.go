@@ -1,0 +1,182 @@
+// Package loadharness is the delivery plane's honest measurement kit:
+// an open-loop load generator (requests fired on a seeded arrival
+// schedule, regardless of how many are still in flight) with
+// coordinated-omission-safe latency recording, a log-bucketed HDR-style
+// histogram cheap enough to share between the generator's hot loop and
+// tests, and the versioned BENCH record schema plus the perf-ratchet
+// comparison behind `make perfgate`.
+//
+// The closed-loop generator this package replaces measured the harness,
+// not the server: when every worker waits for its previous response
+// before sending the next request, a slow server quietly lowers the
+// offered load and the recorded latencies omit exactly the requests
+// that would have hurt — the coordinated-omission trap. Here the
+// arrival schedule is fixed up front, each request's latency is
+// measured from its *intended* start time (so time spent queued behind
+// a saturated connection pool counts against the server), and the sweep
+// across arrival rates yields a latency-vs-throughput curve whose knee
+// is the number worth ratcheting.
+package loadharness
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: values from histMin up are bucketed at
+// histSubBuckets buckets per power of two, giving a worst-case relative
+// error of 2^(1/histSubBuckets)-1 (~4.4% at 16 sub-buckets) — the
+// HDR-histogram trade: fixed memory, bounded relative error, O(1)
+// lock-free recording from any number of goroutines.
+const (
+	histMin        = 1e-6 // 1µs: everything below lands in bucket 0
+	histOctaves    = 36   // covers up to ~64,000s
+	histSubBuckets = 16
+	histBuckets    = histOctaves*histSubBuckets + 1
+)
+
+// Hist is a goroutine-safe log-bucketed latency histogram. The zero
+// value is ready to use; all methods may be called concurrently.
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Uint64 // sum in nanoseconds, enough headroom for ~584y
+	maxBits atomic.Uint64 // max sample, as float64 bits
+}
+
+// bucketIndex maps a non-negative sample (seconds) to its bucket.
+func bucketIndex(v float64) int {
+	if v < histMin {
+		return 0
+	}
+	idx := int(math.Log2(v/histMin)*histSubBuckets) + 1
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the representative value (upper bound) of a bucket.
+func bucketValue(idx int) float64 {
+	if idx <= 0 {
+		return histMin
+	}
+	return histMin * math.Pow(2, float64(idx)/histSubBuckets)
+}
+
+// Observe records one latency sample in seconds. Negative samples are
+// clamped to zero (a clock step mid-request must not panic the run).
+func (h *Hist) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		seconds = 0
+	}
+	h.buckets[bucketIndex(seconds)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(seconds * 1e9))
+	for {
+		old := h.maxBits.Load()
+		if seconds <= math.Float64frombits(old) {
+			return
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(seconds)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean sample in seconds (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNS.Load()) / 1e9 / float64(n)
+}
+
+// Max returns the largest recorded sample in seconds.
+func (h *Hist) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile returns the q-quantile (0..1, clamped) in seconds by
+// cumulative bucket rank; the answer is the bucket's upper bound, so it
+// never understates the latency by more than the bucket width.
+func (h *Hist) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == histBuckets-1 {
+				// Overflow bucket: the true value may exceed the bucket
+				// bound; the tracked max is the honest answer.
+				return h.Max()
+			}
+			return bucketValue(i)
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other's samples into h. Not atomic with respect to
+// concurrent Observe calls on other; merge quiesced histograms.
+func (h *Hist) Merge(other *Hist) {
+	for i := 0; i < histBuckets; i++ {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sumNS.Add(other.sumNS.Load())
+	for {
+		old := h.maxBits.Load()
+		om := other.maxBits.Load()
+		if math.Float64frombits(om) <= math.Float64frombits(old) {
+			return
+		}
+		if h.maxBits.CompareAndSwap(old, om) {
+			return
+		}
+	}
+}
+
+// Latency is a latency digest in milliseconds — the shape every BENCH
+// record stores.
+type Latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max,omitempty"`
+}
+
+// LatencyMS digests the histogram into milliseconds.
+func (h *Hist) LatencyMS() Latency {
+	return Latency{
+		Mean: h.Mean() * 1000,
+		P50:  h.Quantile(0.5) * 1000,
+		P95:  h.Quantile(0.95) * 1000,
+		P99:  h.Quantile(0.99) * 1000,
+		Max:  h.Max() * 1000,
+	}
+}
+
+func (l Latency) String() string {
+	return fmt.Sprintf("mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms",
+		l.Mean, l.P50, l.P95, l.P99, l.Max)
+}

@@ -1,0 +1,131 @@
+package loadharness
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h Hist
+	// 1..10000 µs uniformly: quantiles are known exactly.
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) * 1e-6)
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("Count = %d, want 10000", got)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5000e-6},
+		{0.95, 9500e-6},
+		{0.99, 9900e-6},
+	} {
+		got := h.Quantile(tc.q)
+		// Bucket geometry promises ~4.4% relative error, never understating
+		// beyond one bucket width.
+		if got < tc.want*0.95 || got > tc.want*1.10 {
+			t.Errorf("Quantile(%g) = %g, want within 5%%/10%% of %g", tc.q, got, tc.want)
+		}
+	}
+	if got, want := h.Mean(), 5000.5e-6; math.Abs(got-want)/want > 0.01 {
+		t.Errorf("Mean = %g, want ~%g", got, want)
+	}
+	if got := h.Max(); got != 10000e-6 {
+		t.Errorf("Max = %g, want %g", got, 10000e-6)
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %g, want 0", got)
+	}
+	h.Observe(-5)         // clock step: clamps to 0, no panic
+	h.Observe(math.NaN()) // defensive: clamps to 0
+	h.Observe(1e12)       // far past the last octave: overflow bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	// The overflow bucket reports the tracked max, not the bucket bound.
+	if got := h.Quantile(1); got != 1e12 {
+		t.Errorf("Quantile(1) = %g, want 1e12 (tracked max)", got)
+	}
+	if got := h.Quantile(-1); got != histMin {
+		t.Errorf("Quantile(-1) = %g, want clamp to first bucket %g", got, histMin)
+	}
+}
+
+func TestHistQuantileNeverUnderstates(t *testing.T) {
+	var h Hist
+	samples := []float64{0.0001, 0.0005, 0.003, 0.003, 0.020, 0.150}
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	// p100 must cover the max exactly; lower quantiles must be >= the true
+	// order statistic (bucket upper bound semantics).
+	if got := h.Quantile(1); got < 0.150 {
+		t.Errorf("Quantile(1) = %g understates max 0.150", got)
+	}
+	if got := h.Quantile(0.5); got < 0.0005 {
+		t.Errorf("Quantile(0.5) = %g understates true p50 0.003's lower neighbor", got)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	var sum uint64
+	for i := range h.buckets {
+		sum += h.buckets[i].Load()
+	}
+	if sum != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, goroutines*per)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i) * 1e-6)
+	}
+	b.Observe(0.5)
+	a.Merge(&b)
+	if got := a.Count(); got != 101 {
+		t.Fatalf("merged Count = %d, want 101", got)
+	}
+	if got := a.Max(); got != 0.5 {
+		t.Errorf("merged Max = %g, want 0.5", got)
+	}
+}
+
+func TestLatencyMS(t *testing.T) {
+	var h Hist
+	h.Observe(0.010) // 10ms
+	l := h.LatencyMS()
+	if l.P99 < 10 || l.P99 > 11 {
+		t.Errorf("P99 = %gms, want ~10ms", l.P99)
+	}
+	if l.Max != 10 {
+		t.Errorf("Max = %gms, want 10ms", l.Max)
+	}
+	if s := l.String(); s == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,209 @@
+package loadharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion is the current BENCH_*.json schema. History:
+//
+//	(absent) — PR 2–6 records: closed-loop only, no host info, hit rate
+//	           unguarded against zero-sample runs.
+//	2        — schema_version + host block on every record, guarded
+//	           payload_cache_hit_rate, optional open_loop section with
+//	           the rate sweep and knee point.
+const SchemaVersion = 2
+
+// Host pins the hardware/runtime context a BENCH record was produced
+// under, so numbers from different machines are comparable (or visibly
+// not): a knee measured at GOMAXPROCS=1 on a shared runner is not a
+// regression against one measured on a 16-core box.
+type Host struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CurrentHost captures the running process's host context.
+func CurrentHost() Host {
+	return Host{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// KneePoint is the sweep's operating point: the highest arrival rate
+// the serve path absorbed without falling off the latency cliff.
+type KneePoint struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// OpenLoop is a delivery record's open-loop section: the swept
+// latency-vs-throughput curve and its knee.
+type OpenLoop struct {
+	Distribution    string       `json:"distribution"`
+	DurationSeconds float64      `json:"duration_seconds"`
+	MaxConns        int          `json:"max_conns"`
+	Rates           []RateResult `json:"rates"`
+	Knee            *KneePoint   `json:"knee,omitempty"`
+}
+
+// NewOpenLoop assembles the open-loop section from sweep results.
+func NewOpenLoop(cfg SweepConfig, results []RateResult) *OpenLoop {
+	ol := &OpenLoop{
+		Distribution:    cfg.Dist,
+		DurationSeconds: cfg.Duration.Seconds(),
+		MaxConns:        cfg.MaxConns,
+		Rates:           results,
+	}
+	if i := Knee(results); i >= 0 {
+		ol.Knee = &KneePoint{
+			OfferedRPS:  results[i].OfferedRPS,
+			AchievedRPS: results[i].AchievedRPS,
+			P99MS:       results[i].LatencyMS.P99,
+		}
+	}
+	return ol
+}
+
+// ChurnRecord is the optional churn section shared by delivery, churn,
+// and ingest records.
+type ChurnRecord struct {
+	Spec             string `json:"spec"`
+	Kills            int    `json:"kills"`
+	Restarts         int    `json:"restarts"`
+	AllRestarted     bool   `json:"all_restarted"`
+	ExcusedFailures  uint64 `json:"excused_failures"`
+	DeadMembers      uint64 `json:"repair_dead_members"`
+	Readmissions     uint64 `json:"repair_readmissions"`
+	ReplicasRestored uint64 `json:"repair_replicas_restored"`
+	Churn503s        uint64 `json:"churn_unavailable"`
+}
+
+// DeliveryRecord is the BENCH_delivery.json schema: the delivery
+// plane's perf trajectory across PRs, and perfgate's ratchet unit.
+type DeliveryRecord struct {
+	SchemaVersion   int          `json:"schema_version"`
+	Host            Host         `json:"host"`
+	Mode            string       `json:"mode"` // "closed-loop" or "open-loop"
+	Workers         int          `json:"workers,omitempty"`
+	Requests        int          `json:"requests"`
+	Stripes         int          `json:"stripes,omitempty"`
+	Edges           int          `json:"edges"`
+	Datasets        int          `json:"datasets"`
+	BytesPerDataset int64        `json:"bytes_per_dataset"`
+	PayloadMode     string       `json:"payload_mode"`
+	ElapsedSeconds  float64      `json:"elapsed_seconds"`
+	ThroughputRPS   float64      `json:"throughput_rps"`
+	ThroughputMBps  float64      `json:"throughput_mbps"`
+	LatencyMS       Latency      `json:"latency_ms"`
+	Failed          uint64       `json:"failed"`
+	CacheHits       uint64       `json:"payload_cache_hits"`
+	CacheMisses     uint64       `json:"payload_cache_misses"`
+	CacheHitRate    float64      `json:"payload_cache_hit_rate"`
+	RangeRequests   uint64       `json:"range_requests"`
+	Reconciled      bool         `json:"reconciled"`
+	OpenLoop        *OpenLoop    `json:"open_loop,omitempty"`
+	Churn           *ChurnRecord `json:"churn,omitempty"`
+}
+
+// HitRate is hits/(hits+misses), guarded against the zero-sample case —
+// a run that never touched the payload cache reports 0, not NaN.
+func HitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// WriteRecord marshals any BENCH record as indented JSON.
+func WriteRecord(path string, rec any) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadDeliveryRecord loads a BENCH_delivery.json history record.
+func ReadDeliveryRecord(path string) (*DeliveryRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec DeliveryRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("loadharness: parse %s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// GateOptions tunes the perfgate tolerance band. Zero values get
+// defaults suited to shared CI runners (loose but real).
+type GateOptions struct {
+	// Tolerance is the allowed fractional knee-throughput regression:
+	// 0.5 fails only when the candidate knee falls below half the
+	// baseline knee. Default 0.5.
+	Tolerance float64
+	// MaxP99Inflation is the allowed knee-p99 growth factor, with an
+	// absolute floor of GateP99FloorMS so microsecond baselines don't
+	// fail on scheduler noise. Default 4.
+	MaxP99Inflation float64
+}
+
+// GateP99FloorMS is the absolute knee-p99 level below which the gate
+// never fails on latency: single-digit milliseconds on a loopback smoke
+// are indistinguishable from scheduler jitter.
+const GateP99FloorMS = 25.0
+
+// CompareDelivery is the perf ratchet: it fails (returns an error) when
+// the candidate record regresses past the tolerance band relative to
+// the checked-in baseline — knee throughput down by more than
+// Tolerance, knee p99 inflated past MaxP99Inflation (and above the
+// absolute floor), any failed requests, or a reconciliation mismatch.
+// A baseline predating the open-loop schema (no open_loop section)
+// cannot anchor a ratchet; the candidate then only has to be healthy.
+func CompareDelivery(baseline, candidate *DeliveryRecord, opt GateOptions) error {
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 0.5
+	}
+	if opt.MaxP99Inflation <= 0 {
+		opt.MaxP99Inflation = 4
+	}
+	if candidate == nil {
+		return fmt.Errorf("perfgate: no candidate record")
+	}
+	if !candidate.Reconciled {
+		return fmt.Errorf("perfgate: candidate record did not reconcile against /metrics")
+	}
+	if candidate.Failed != 0 {
+		return fmt.Errorf("perfgate: candidate recorded %d failed requests", candidate.Failed)
+	}
+	if candidate.OpenLoop == nil || candidate.OpenLoop.Knee == nil {
+		return fmt.Errorf("perfgate: candidate record has no open-loop knee (run scdn-loadgen -openloop)")
+	}
+	if baseline == nil || baseline.OpenLoop == nil || baseline.OpenLoop.Knee == nil {
+		// Pre-ratchet history: nothing to compare against. The candidate
+		// becoming the new checked-in record starts the ratchet.
+		return nil
+	}
+	base, cand := baseline.OpenLoop.Knee, candidate.OpenLoop.Knee
+	if floor := base.AchievedRPS * (1 - opt.Tolerance); cand.AchievedRPS < floor {
+		return fmt.Errorf("perfgate: knee throughput regressed: %.1f rps < %.1f rps (baseline %.1f, tolerance %.0f%%)",
+			cand.AchievedRPS, floor, base.AchievedRPS, opt.Tolerance*100)
+	}
+	p99Cap := base.P99MS * opt.MaxP99Inflation
+	if p99Cap < GateP99FloorMS {
+		p99Cap = GateP99FloorMS
+	}
+	if cand.P99MS > p99Cap {
+		return fmt.Errorf("perfgate: knee p99 regressed: %.2fms > %.2fms cap (baseline %.2fms, inflation %.1fx)",
+			cand.P99MS, p99Cap, base.P99MS, opt.MaxP99Inflation)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package loadharness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHitRateGuarded(t *testing.T) {
+	if got := HitRate(0, 0); got != 0 {
+		t.Fatalf("HitRate(0,0) = %g, want 0 (not NaN)", got)
+	}
+	if got := HitRate(3, 1); got != 0.75 {
+		t.Fatalf("HitRate(3,1) = %g, want 0.75", got)
+	}
+}
+
+func TestCurrentHost(t *testing.T) {
+	h := CurrentHost()
+	if h.GOMAXPROCS < 1 || h.NumCPU < 1 || !strings.HasPrefix(h.GoVersion, "go") {
+		t.Fatalf("implausible host info: %+v", h)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_delivery.json")
+	rec := &DeliveryRecord{
+		SchemaVersion: SchemaVersion,
+		Host:          CurrentHost(),
+		Mode:          "open-loop",
+		Requests:      1200,
+		PayloadMode:   "dir",
+		LatencyMS:     Latency{Mean: 0.4, P50: 0.3, P95: 0.9, P99: 1.2, Max: 4},
+		CacheHits:     10,
+		CacheMisses:   2,
+		CacheHitRate:  HitRate(10, 2),
+		Reconciled:    true,
+		OpenLoop: &OpenLoop{
+			Distribution: DistExponential, DurationSeconds: 1, MaxConns: 64,
+			Rates: []RateResult{{OfferedRPS: 1000, AchievedRPS: 990, Issued: 990}},
+			Knee:  &KneePoint{OfferedRPS: 1000, AchievedRPS: 990, P99MS: 1.2},
+		},
+	}
+	if err := WriteRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeliveryRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.OpenLoop == nil || got.OpenLoop.Knee == nil {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.OpenLoop.Knee.AchievedRPS != 990 {
+		t.Fatalf("knee achieved = %g, want 990", got.OpenLoop.Knee.AchievedRPS)
+	}
+}
+
+func TestReadDeliveryRecordErrors(t *testing.T) {
+	if _, err := ReadDeliveryRecord(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteRecord(bad, "not an object"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDeliveryRecord(bad); err == nil {
+		t.Error("malformed record accepted")
+	}
+}
+
+func TestNewOpenLoopComputesKnee(t *testing.T) {
+	cfg := SweepConfig{Rates: []float64{100, 200}, Duration: time.Second,
+		MaxConns: 8, Dist: DistExponential}
+	results := []RateResult{
+		{OfferedRPS: 100, AchievedRPS: 99, Issued: 99, LatencyMS: Latency{P99: 1}},
+		{OfferedRPS: 200, AchievedRPS: 198, Issued: 198, LatencyMS: Latency{P99: 1.5}},
+	}
+	ol := NewOpenLoop(cfg, results)
+	if ol.Knee == nil || ol.Knee.OfferedRPS != 200 {
+		t.Fatalf("knee = %+v, want the 200 rps step", ol.Knee)
+	}
+	if ol.Distribution != DistExponential || ol.MaxConns != 8 {
+		t.Fatalf("config not carried: %+v", ol)
+	}
+}
+
+func healthyRecord(kneeRPS, kneeP99 float64) *DeliveryRecord {
+	return &DeliveryRecord{
+		SchemaVersion: SchemaVersion,
+		Reconciled:    true,
+		OpenLoop: &OpenLoop{
+			Knee: &KneePoint{OfferedRPS: kneeRPS, AchievedRPS: kneeRPS, P99MS: kneeP99},
+		},
+	}
+}
+
+// TestCompareDeliveryRatchet is the acceptance-criteria gate test: the
+// comparison must pass a healthy candidate against the baseline and
+// demonstrably fail a doctored regression record.
+func TestCompareDeliveryRatchet(t *testing.T) {
+	baseline := healthyRecord(10000, 40)
+
+	t.Run("healthy candidate passes", func(t *testing.T) {
+		if err := CompareDelivery(baseline, healthyRecord(9500, 45), GateOptions{}); err != nil {
+			t.Fatalf("healthy candidate rejected: %v", err)
+		}
+	})
+	t.Run("doctored throughput regression fails", func(t *testing.T) {
+		// Knee at 30% of baseline: past the default 50% tolerance band.
+		err := CompareDelivery(baseline, healthyRecord(3000, 40), GateOptions{})
+		if err == nil || !strings.Contains(err.Error(), "knee throughput regressed") {
+			t.Fatalf("doctored throughput record passed the gate: %v", err)
+		}
+	})
+	t.Run("doctored p99 regression fails", func(t *testing.T) {
+		err := CompareDelivery(baseline, healthyRecord(10000, 500), GateOptions{})
+		if err == nil || !strings.Contains(err.Error(), "knee p99 regressed") {
+			t.Fatalf("doctored p99 record passed the gate: %v", err)
+		}
+	})
+	t.Run("p99 floor absorbs loopback jitter", func(t *testing.T) {
+		// Baseline p99 0.5ms, candidate 20ms: 40× inflation but below the
+		// 25ms absolute floor — shared-runner noise, not a regression.
+		if err := CompareDelivery(healthyRecord(10000, 0.5), healthyRecord(10000, 20), GateOptions{}); err != nil {
+			t.Fatalf("sub-floor p99 rejected: %v", err)
+		}
+	})
+	t.Run("failed requests fail the gate", func(t *testing.T) {
+		cand := healthyRecord(10000, 40)
+		cand.Failed = 3
+		if err := CompareDelivery(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("candidate with failures passed")
+		}
+	})
+	t.Run("unreconciled candidate fails", func(t *testing.T) {
+		cand := healthyRecord(10000, 40)
+		cand.Reconciled = false
+		if err := CompareDelivery(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("unreconciled candidate passed")
+		}
+	})
+	t.Run("candidate without knee fails", func(t *testing.T) {
+		cand := healthyRecord(10000, 40)
+		cand.OpenLoop = nil
+		if err := CompareDelivery(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("knee-less candidate passed")
+		}
+	})
+	t.Run("pre-ratchet baseline only checks health", func(t *testing.T) {
+		old := &DeliveryRecord{Reconciled: true} // schema v1: no open_loop
+		if err := CompareDelivery(old, healthyRecord(100, 1), GateOptions{}); err != nil {
+			t.Fatalf("v1 baseline should not anchor a ratchet: %v", err)
+		}
+	})
+	t.Run("custom tolerance", func(t *testing.T) {
+		// 20% tolerance: a 25% drop fails.
+		err := CompareDelivery(baseline, healthyRecord(7500, 40), GateOptions{Tolerance: 0.2})
+		if err == nil {
+			t.Fatal("25% drop passed a 20% tolerance")
+		}
+	})
+}

@@ -228,10 +228,11 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	// Parse the range before deciding how to serve: malformed or
-	// unsatisfiable ranges are rejected here with 416 — never silently
-	// answered with the full body — and never forwarded to a peer.
-	rng, isRange, rerr := parseRange(r.Header.Get("Range"), bytes)
+	// Parse the range set before deciding how to serve: malformed or
+	// unsatisfiable ranges (any part of a multipart spec) are rejected
+	// here with 416 — never silently answered with the full body — and
+	// never forwarded to a peer.
+	rngs, isRange, rerr := parseRanges(r.Header.Get("Range"), bytes)
 	if rerr != nil {
 		n.Metrics.RangeNotSatisfiable.Inc()
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", bytes))
@@ -239,7 +240,7 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if local {
-		if n.serveLocal(w, r, id, rng, isRange, bytes) {
+		if n.serveLocal(w, r, id, rngs, isRange, bytes) {
 			return
 		}
 		// The local claim was a lie: an opaque dataset whose volume file
@@ -252,7 +253,7 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusNotFound, fmt.Errorf("server: node %d does not hold %q", n.cfg.Node, id))
 		return
 	}
-	n.proxyFetch(w, r, id, rng, isRange, bytes, fail)
+	n.proxyFetch(w, r, id, rngs, isRange, bytes, fail)
 }
 
 // serveLocal streams the dataset (or the requested byte range of it)
@@ -264,16 +265,16 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 // synthesized, so a missing volume file returns false — the caller must
 // treat the local copy as lost.
 func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64) bool {
+	rngs []byteRange, isRange bool, total int64) bool {
 	man, hasMan := n.manifests.Get(id)
 	opaque := hasMan && man.Opaque
-	if n.vol != nil && n.serveDisk(w, r, id, rng, isRange, total, opaque) {
+	if n.vol != nil && n.serveDisk(w, r, id, rngs, isRange, total, opaque) {
 		return true
 	}
 	if opaque {
 		return false
 	}
-	n.serveGenerated(w, id, rng, isRange, total)
+	n.serveGenerated(w, r, id, rngs, isRange, total)
 	return true
 }
 
@@ -288,19 +289,25 @@ var (
 
 // serveDisk serves the dataset from the node's replica volume as an
 // *os.File, so on a plain TCP connection the kernel moves the bytes
-// (sendfile) and userspace copies nothing. Full GETs go through
-// http.ServeContent; single-part ranges — already parsed and validated
-// by handleFetch — seek and stream the window directly instead of having
-// ServeContent re-parse the Range header (net/http's ReadFrom unwraps
-// the LimitedReader around the *os.File, so the range path rides
-// sendfile too). The replica is materialized on first access (once, via
-// the deterministic generator, so integrity verification is unchanged).
-// Returns false to fall back to the generated path when the volume
-// cannot produce the file; the fetch must not fail just because a disk
-// is full. Opaque datasets skip materialization — their bytes are not
-// derivable, a missing file is simply a miss.
+// (sendfile) and userspace copies nothing. Full GETs seek to the start
+// (the FD pool hands back files wherever the last request left them)
+// and stream via io.Copy, whose ReadFrom fast path is the sendfile
+// call; single-part ranges — already parsed and validated by
+// handleFetch — seek and stream the window through the scratch's pooled
+// LimitedReader, which net/http unwraps so the range path rides
+// sendfile too. Multipart range sets stream a multipart/byteranges body
+// part by part straight off the file, never buffering a part. Warm
+// requests allocate nothing: header values, length strings, and the
+// LimitedReader all live in the pooled fetchScratch (see hotpath.go),
+// enforced by TestServeAllocBudgets. The replica is materialized on
+// first access (once, via the deterministic generator, so integrity
+// verification is unchanged). Returns false to fall back to the
+// generated path when the volume cannot produce the file; the fetch
+// must not fail just because a disk is full. Opaque datasets skip
+// materialization — their bytes are not derivable, a missing file is
+// simply a miss.
 func (n *Node) serveDisk(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64, opaque bool) bool {
+	rngs []byteRange, isRange bool, total int64, opaque bool) bool {
 	f, size, ok := n.vol.Open(id)
 	if !ok {
 		if opaque || !n.materialize(id, total) {
@@ -318,23 +325,64 @@ func (n *Node) serveDisk(w http.ResponseWriter, r *http.Request, id storage.Data
 		return false
 	}
 	defer n.vol.Release(id, f)
+	if len(rngs) > 1 {
+		n.Metrics.StoreDiskHits.Inc()
+		n.Metrics.RangeRequests.Inc()
+		n.Metrics.RangeMultipart.Inc()
+		h := w.Header()
+		h["Accept-Ranges"] = acceptRangesHeader
+		h["X-Scdn-Source"] = n.srcHdr
+		served := writeMultipart(w, r, rngs, total, func(pw io.Writer, rng byteRange) error {
+			if _, err := f.Seek(rng.off, io.SeekStart); err != nil {
+				return err
+			}
+			_, err := io.CopyN(pw, f, rng.n)
+			return err
+		})
+		n.Metrics.LocalHits.Inc()
+		n.Metrics.BytesServed.Add(uint64(served))
+		return true
+	}
+	rng := rngs[0]
+	off := int64(0)
+	if isRange {
+		off = rng.off
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false // nothing written yet; generated path takes over
+	}
+	n.Metrics.StoreDiskHits.Inc()
 	h := w.Header()
 	h["Content-Type"] = octetStreamHeader
 	h["Accept-Ranges"] = acceptRangesHeader
 	h["X-Scdn-Source"] = n.srcHdr
-	if isRange {
-		if _, err := f.Seek(rng.off, io.SeekStart); err != nil {
-			return false // nothing written yet; generated path takes over
+	if useScratch(r, rng.n) {
+		sc := fetchScratchPool.Get().(*fetchScratch)
+		defer fetchScratchPool.Put(sc)
+		h["Content-Length"] = sc.contentLength(rng.n)
+		if isRange {
+			n.Metrics.RangeRequests.Inc()
+			h["Content-Range"] = sc.contentRange(rng, total)
+			w.WriteHeader(http.StatusPartialContent)
+		} else {
+			w.WriteHeader(http.StatusOK)
 		}
-		n.Metrics.StoreDiskHits.Inc()
-		n.Metrics.RangeRequests.Inc()
-		h["Content-Length"] = []string{strconv.FormatInt(rng.n, 10)}
-		h["Content-Range"] = []string{rng.contentRange(total)}
-		w.WriteHeader(http.StatusPartialContent)
-		_, _ = io.CopyN(w, f, rng.n)
+		sc.lr = io.LimitedReader{R: f, N: rng.n}
+		_, _ = io.Copy(w, &sc.lr)
 	} else {
-		n.Metrics.StoreDiskHits.Inc()
-		http.ServeContent(w, r, "", time.Time{}, f)
+		// HEAD or empty body: net/http may serialize the header map after
+		// the handler returns, so the values must not alias pooled memory.
+		h.Set("Content-Length", strconv.FormatInt(rng.n, 10))
+		status := http.StatusOK
+		if isRange {
+			n.Metrics.RangeRequests.Inc()
+			h.Set("Content-Range", rng.contentRange(total))
+			status = http.StatusPartialContent
+		}
+		w.WriteHeader(status)
+		if r.Method != http.MethodHead {
+			_, _ = io.CopyN(w, f, rng.n)
+		}
 	}
 	n.Metrics.LocalHits.Inc()
 	n.Metrics.BytesServed.Add(uint64(rng.n))
@@ -368,28 +416,61 @@ func (n *Node) materialize(id storage.DatasetID, total int64) bool {
 
 // serveGenerated streams the dataset from the node's payload-block cache
 // so the SHA-256 chain is paid once per dataset, not per request; the
-// wire bytes are assembled through a pooled buffer, so the steady state
-// allocates nothing per fetch.
-func (n *Node) serveGenerated(w http.ResponseWriter, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64) {
+// wire bytes are assembled through a pooled buffer and the response
+// headers through the pooled fetchScratch, so the warm steady state
+// allocates nothing per fetch. Multipart range sets stream a
+// multipart/byteranges body with each part generated directly into the
+// response writer.
+func (n *Node) serveGenerated(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
+	rngs []byteRange, isRange bool, total int64) {
 	block, hit := n.blocks.Block(id)
 	if hit {
 		n.Metrics.PayloadCacheHits.Inc()
 	} else {
 		n.Metrics.PayloadCacheMisses.Inc()
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Accept-Ranges", "bytes")
-	w.Header().Set("Content-Length", fmt.Sprint(rng.n))
-	w.Header().Set("X-SCDN-Source", n.srcID)
-	status := http.StatusOK
-	if isRange {
+	h := w.Header()
+	h["Accept-Ranges"] = acceptRangesHeader
+	h["X-Scdn-Source"] = n.srcHdr
+	if len(rngs) > 1 {
 		n.Metrics.RangeRequests.Inc()
-		w.Header().Set("Content-Range", rng.contentRange(total))
-		status = http.StatusPartialContent
+		n.Metrics.RangeMultipart.Inc()
+		served := writeMultipart(w, r, rngs, total, func(pw io.Writer, rng byteRange) error {
+			_, err := writeBlockRangeBuffered(pw, block, rng.off, rng.n)
+			return err
+		})
+		n.Metrics.LocalHits.Inc()
+		n.Metrics.BytesServed.Add(uint64(served))
+		return
 	}
-	w.WriteHeader(status)
-	written, _ := writeBlockRangeBuffered(w, block, rng.off, rng.n)
+	rng := rngs[0]
+	h["Content-Type"] = octetStreamHeader
+	var written int64
+	if useScratch(r, rng.n) {
+		sc := fetchScratchPool.Get().(*fetchScratch)
+		defer fetchScratchPool.Put(sc)
+		h["Content-Length"] = sc.contentLength(rng.n)
+		if isRange {
+			n.Metrics.RangeRequests.Inc()
+			h["Content-Range"] = sc.contentRange(rng, total)
+			w.WriteHeader(http.StatusPartialContent)
+		} else {
+			w.WriteHeader(http.StatusOK)
+		}
+		written, _ = writeBlockRangeBuffered(w, block, rng.off, rng.n)
+	} else {
+		h.Set("Content-Length", strconv.FormatInt(rng.n, 10))
+		status := http.StatusOK
+		if isRange {
+			n.Metrics.RangeRequests.Inc()
+			h.Set("Content-Range", rng.contentRange(total))
+			status = http.StatusPartialContent
+		}
+		w.WriteHeader(status)
+		if r.Method != http.MethodHead {
+			written, _ = writeBlockRangeBuffered(w, block, rng.off, rng.n)
+		}
+	}
 	n.Metrics.LocalHits.Inc()
 	n.Metrics.BytesServed.Add(uint64(written))
 }
@@ -400,7 +481,7 @@ func (n *Node) serveGenerated(w http.ResponseWriter, id storage.DatasetID,
 // successful response to the client. Range requests are forwarded to the
 // peer as ranges, so a proxied stripe moves only its own bytes.
 func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	rng byteRange, isRange bool, total int64, fail func(int, error)) {
+	rngs []byteRange, isRange bool, total int64, fail func(int, error)) {
 	reps, err := n.catalog.Replicas(id)
 	if err != nil {
 		fail(http.StatusBadGateway, err)
@@ -437,7 +518,7 @@ func (n *Node) proxyFetch(w http.ResponseWriter, r *http.Request, id storage.Dat
 			}
 		}
 		cand := cands[attempt%len(cands)]
-		committed, err := n.tryPeer(w, r, id, cand, rng, isRange, total, origin)
+		committed, err := n.tryPeer(w, r, id, cand, rngs, isRange, total, origin)
 		if committed {
 			return
 		}
@@ -503,12 +584,13 @@ func (n *Node) orderCandidates(reps []allocation.Replica) []allocation.Replica {
 // written (successfully or not) — once headers are on the wire there is
 // no retrying.
 func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.DatasetID,
-	cand allocation.Replica, rng byteRange, isRange bool, total int64,
+	cand allocation.Replica, rngs []byteRange, isRange bool, total int64,
 	origin allocation.NodeID) (committed bool, _ error) {
 	base, ok := n.registry.BaseURL(cand.Node)
 	if !ok {
 		return false, ErrNoEndpoint
 	}
+	rng, multi := rngs[0], len(rngs) > 1
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
 		base+"/v1/fetch/"+url.PathEscape(string(id)), nil)
 	if err != nil {
@@ -518,7 +600,7 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	req.Header.Set("Authorization", r.Header.Get("Authorization"))
 	wantStatus := http.StatusOK
 	if isRange {
-		req.Header.Set("Range", rng.header())
+		req.Header.Set("Range", rangesHeader(rngs))
 		wantStatus = http.StatusPartialContent
 	}
 	resp, err := n.client.Do(req)
@@ -562,14 +644,27 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 			n.Metrics.StoreSpillFailures.Inc()
 		}
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
+	// A multipart stripe set is relayed as the peer framed it: the
+	// boundary lives in the peer's Content-Type, so that header (and the
+	// framing-inclusive Content-Length) pass through verbatim.
+	expected := rng.n
 	w.Header().Set("Accept-Ranges", "bytes")
-	w.Header().Set("Content-Length", fmt.Sprint(rng.n))
 	w.Header().Set("X-SCDN-Source", fmt.Sprint(cand.Node))
 	status := http.StatusOK
-	if isRange {
-		w.Header().Set("Content-Range", rng.contentRange(total))
+	if multi {
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		if cl := resp.Header.Get("Content-Length"); cl != "" {
+			w.Header().Set("Content-Length", cl)
+		}
+		expected = resp.ContentLength
 		status = http.StatusPartialContent
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(rng.n))
+		if isRange {
+			w.Header().Set("Content-Range", rng.contentRange(total))
+			status = http.StatusPartialContent
+		}
 	}
 	w.WriteHeader(status)
 	dst := io.Writer(w)
@@ -584,7 +679,7 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	}
 	written, copyErr := copyBuffered(dst, resp.Body)
 	n.Metrics.BytesServed.Add(uint64(written))
-	if copyErr != nil || written != rng.n {
+	if copyErr != nil || (expected >= 0 && written != expected) {
 		if spill != nil {
 			spill.Abort()
 			n.Metrics.StoreSpillFailures.Inc()

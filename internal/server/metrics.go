@@ -77,8 +77,11 @@ type Metrics struct {
 	// BytesServed totals payload bytes sent to clients and peers.
 	BytesServed metrics.Counter
 	// RangeRequests counts fetches that carried a satisfiable Range
-	// header (served as 206); RangeNotSatisfiable counts the 416s.
+	// header (served as 206); RangeMultipart the subset answered as
+	// multipart/byteranges (more than one part after coalescing);
+	// RangeNotSatisfiable counts the 416s.
 	RangeRequests       metrics.Counter
+	RangeMultipart      metrics.Counter
 	RangeNotSatisfiable metrics.Counter
 	// PayloadCacheHits / PayloadCacheMisses count repetition-block cache
 	// outcomes on locally served payloads: a hit skips the per-request
@@ -183,6 +186,7 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_logins_total", &m.Logins},
 		{"scdn_bytes_served_total", &m.BytesServed},
 		{"scdn_range_requests_total", &m.RangeRequests},
+		{"scdn_range_multipart_total", &m.RangeMultipart},
 		{"scdn_range_not_satisfiable_total", &m.RangeNotSatisfiable},
 		{"scdn_payload_cache_hits_total", &m.PayloadCacheHits},
 		{"scdn_payload_cache_misses_total", &m.PayloadCacheMisses},

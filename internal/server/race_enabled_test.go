@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget tests skip under -race because instrumentation
+// allocates on paths that are allocation-free in production builds.
+const raceEnabled = true

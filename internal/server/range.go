@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"net/textproto"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -25,61 +27,151 @@ func (r byteRange) header() string {
 	return fmt.Sprintf("bytes=%d-%d", r.off, r.end())
 }
 
-// parseRange interprets a Range request header against a body of total
-// bytes. It returns (range, true, nil) for a valid single range,
-// (full, false, nil) when no Range header is present, and an error when
-// the header is malformed or unsatisfiable — the delivery plane answers
-// those with 416 rather than silently serving the full body, so a striped
-// client can never mistake a whole payload for one stripe. Multipart
-// ranges ("a-b,c-d") are deliberately unsupported: stripes are
-// single-range by construction.
-func parseRange(h string, total int64) (byteRange, bool, error) {
+// mimeHeader renders the per-part headers of a multipart/byteranges part.
+func (r byteRange) mimeHeader(total int64) textproto.MIMEHeader {
+	return textproto.MIMEHeader{
+		"Content-Range": {r.contentRange(total)},
+		"Content-Type":  {"application/octet-stream"},
+	}
+}
+
+// rangesHeader renders the client-side Range header for a set of parts
+// ("bytes=a-b,c-d"), the form forwarded to a peer on a proxied
+// multipart fetch.
+func rangesHeader(rngs []byteRange) string {
+	var b strings.Builder
+	b.WriteString("bytes=")
+	for i, r := range rngs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(r.off, 10))
+		b.WriteByte('-')
+		b.WriteString(strconv.FormatInt(r.end(), 10))
+	}
+	return b.String()
+}
+
+// maxRangeParts caps how many parts one multipart Range request may ask
+// for (counted after merging). Each part costs a seek plus MIME framing;
+// an unbounded list would let one request turn a sendfile stream into
+// thousands of tiny scattered reads. GridFTP-style striping needs a
+// handful of parts, not hundreds; past the cap the request is rejected
+// with 416 like any other unsatisfiable range.
+const maxRangeParts = 16
+
+// parseRanges interprets a Range request header against a body of total
+// bytes. It returns (parts, true, nil) for a valid range set — sorted by
+// offset, with overlapping and adjacent parts merged, so callers always
+// see a minimal ascending sequence — ([full], false, nil) when no Range
+// header is present, and an error when the header is malformed or any
+// part is unsatisfiable. The delivery plane answers errors with 416
+// rather than silently serving the full body, so a striped client can
+// never mistake a whole payload for one stripe; that strictness is
+// deliberately tighter than RFC 7233's "ignore invalid Range" latitude
+// and covers every part of a multipart spec, not just the set as a
+// whole. A multipart spec that merges down to one part is served as a
+// plain single-range 206.
+func parseRanges(h string, total int64) ([]byteRange, bool, error) {
 	if h == "" {
-		return byteRange{off: 0, n: total}, false, nil
+		return []byteRange{{off: 0, n: total}}, false, nil
 	}
 	const prefix = "bytes="
 	if !strings.HasPrefix(h, prefix) {
-		return byteRange{}, false, fmt.Errorf("server: unsupported range unit in %q", h)
+		return nil, false, fmt.Errorf("server: unsupported range unit in %q", h)
 	}
 	spec := strings.TrimSpace(h[len(prefix):])
-	if strings.Contains(spec, ",") {
-		return byteRange{}, false, fmt.Errorf("server: multipart ranges unsupported: %q", h)
+	specs := strings.Split(spec, ",")
+	if len(specs) > maxRangeParts {
+		return nil, false, fmt.Errorf("server: %d range parts exceeds the %d-part cap", len(specs), maxRangeParts)
 	}
+	parts := make([]byteRange, 0, len(specs))
+	for _, s := range specs {
+		r, err := parseOneRange(strings.TrimSpace(s), total)
+		if err != nil {
+			return nil, false, err
+		}
+		parts = append(parts, r)
+	}
+	return coalesceRanges(parts), true, nil
+}
+
+// parseRange is the single-range form used by stripe planning and the
+// benchmark harness: identical to parseRanges but rejecting multipart
+// specs, because a stripe is one range by construction.
+func parseRange(h string, total int64) (byteRange, bool, error) {
+	if strings.Contains(h, ",") {
+		return byteRange{}, false, fmt.Errorf("server: multipart range where a single range is required: %q", h)
+	}
+	rngs, isRange, err := parseRanges(h, total)
+	if err != nil {
+		return byteRange{}, false, err
+	}
+	return rngs[0], isRange, nil
+}
+
+// parseOneRange interprets one range-spec element ("a-b", "a-", "-k")
+// against a body of total bytes, clamping the end to the body.
+func parseOneRange(spec string, total int64) (byteRange, error) {
 	dash := strings.Index(spec, "-")
 	if dash < 0 {
-		return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+		return byteRange{}, fmt.Errorf("server: malformed range part %q", spec)
 	}
 	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
 	if first == "" {
-		// Suffix form "bytes=-k": the final k bytes.
+		// Suffix form "-k": the final k bytes.
 		k, err := strconv.ParseInt(last, 10, 64)
 		if err != nil || k <= 0 {
-			return byteRange{}, false, fmt.Errorf("server: malformed suffix range %q", h)
+			return byteRange{}, fmt.Errorf("server: malformed suffix range %q", spec)
 		}
 		if k > total {
 			k = total
 		}
 		if k == 0 {
-			return byteRange{}, false, fmt.Errorf("server: unsatisfiable range %q for %d bytes", h, total)
+			return byteRange{}, fmt.Errorf("server: unsatisfiable range %q for %d bytes", spec, total)
 		}
-		return byteRange{off: total - k, n: k}, true, nil
+		return byteRange{off: total - k, n: k}, nil
 	}
 	off, err := strconv.ParseInt(first, 10, 64)
 	if err != nil || off < 0 {
-		return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+		return byteRange{}, fmt.Errorf("server: malformed range part %q", spec)
 	}
 	if off >= total {
-		return byteRange{}, false, fmt.Errorf("server: unsatisfiable range %q for %d bytes", h, total)
+		return byteRange{}, fmt.Errorf("server: unsatisfiable range %q for %d bytes", spec, total)
 	}
 	end := total - 1
 	if last != "" {
 		end, err = strconv.ParseInt(last, 10, 64)
 		if err != nil || end < off {
-			return byteRange{}, false, fmt.Errorf("server: malformed range %q", h)
+			return byteRange{}, fmt.Errorf("server: malformed range part %q", spec)
 		}
 		if end > total-1 {
 			end = total - 1
 		}
 	}
-	return byteRange{off: off, n: end - off + 1}, true, nil
+	return byteRange{off: off, n: end - off + 1}, nil
+}
+
+// coalesceRanges sorts parts by offset and merges overlapping or
+// directly adjacent parts, so "0-10,5-20" and "0-10,11-20" both become
+// one "0-20" part. Clients request parts for transfer scheduling, not
+// semantics: merging preserves every requested byte while keeping the
+// response's seek pattern monotone and minimal.
+func coalesceRanges(parts []byteRange) []byteRange {
+	if len(parts) <= 1 {
+		return parts
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].off < parts[j].off })
+	out := parts[:1]
+	for _, r := range parts[1:] {
+		last := &out[len(out)-1]
+		if r.off <= last.end()+1 {
+			if r.end() > last.end() {
+				last.n = r.end() - last.off + 1
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }

@@ -2,11 +2,14 @@ package server
 
 import "testing"
 
-// FuzzParseRange holds parseRange to its contract under arbitrary Range
-// headers: accepted ranges are in-bounds and non-empty, the full-body
+// FuzzParseRange holds parseRanges to its contract under arbitrary Range
+// headers: accepted range sets are in-bounds, non-empty, sorted,
+// non-overlapping and non-adjacent (fully coalesced), the full-body
 // result only ever comes from an absent header, and re-rendering an
-// accepted range parses back to the same range (fixed point) — so a
-// stripe plan echoed through HTTP can never drift.
+// accepted set parses back to the same set (fixed point) — so a stripe
+// plan echoed through HTTP can never drift. The single-range
+// parseRange wrapper must agree with parseRanges on every
+// comma-free header.
 func FuzzParseRange(f *testing.F) {
 	f.Add("", int64(4096))
 	f.Add("bytes=0-99", int64(8192))
@@ -14,35 +17,66 @@ func FuzzParseRange(f *testing.F) {
 	f.Add("bytes=100-", int64(512))
 	f.Add("bytes=5000-5000", int64(10000))
 	f.Add("bytes=0-10,20-30", int64(4096))
+	f.Add("bytes=20-30,0-10", int64(4096))
+	f.Add("bytes=0-10,5-30", int64(4096))
+	f.Add("bytes=0-10,11-30", int64(4096))
+	f.Add("bytes=0-10, 20-30, -100", int64(4096))
+	f.Add("bytes=0-,-1", int64(4096))
+	f.Add("bytes=0-0,2-2,4-4,6-6,8-8,10-10,12-12,14-14,16-16", int64(64))
+	f.Add("bytes=0-10,20-oops", int64(4096))
+	f.Add("bytes=0-10,,20-30", int64(4096))
 	f.Add("bytes=9-5", int64(4096))
 	f.Add("bytes=-0", int64(4096))
 	f.Fuzz(func(t *testing.T, h string, total int64) {
 		if total < 0 {
 			t.Skip("dataset sizes are non-negative by construction")
 		}
-		r, partial, err := parseRange(h, total)
+		rngs, partial, err := parseRanges(h, total)
 		if err != nil {
 			return // rejected headers carry no further obligations
 		}
 		if !partial {
 			if h != "" {
-				t.Fatalf("parseRange(%q, %d) = full body for a present header", h, total)
+				t.Fatalf("parseRanges(%q, %d) = full body for a present header", h, total)
 			}
-			if r.off != 0 || r.n != total {
-				t.Fatalf("parseRange(%q, %d) full body = {off %d, n %d}", h, total, r.off, r.n)
+			if len(rngs) != 1 || rngs[0].off != 0 || rngs[0].n != total {
+				t.Fatalf("parseRanges(%q, %d) full body = %+v", h, total, rngs)
 			}
 			return
 		}
-		if r.off < 0 || r.n < 1 {
-			t.Fatalf("parseRange(%q, %d) = {off %d, n %d}: empty or negative", h, total, r.off, r.n)
+		if len(rngs) == 0 || len(rngs) > maxRangeParts {
+			t.Fatalf("parseRanges(%q, %d) = %d parts", h, total, len(rngs))
 		}
-		if r.off+r.n < r.off || r.off+r.n > total {
-			t.Fatalf("parseRange(%q, %d) = {off %d, n %d}: out of bounds (or overflow)", h, total, r.off, r.n)
+		for i, r := range rngs {
+			if r.off < 0 || r.n < 1 {
+				t.Fatalf("parseRanges(%q, %d)[%d] = {off %d, n %d}: empty or negative", h, total, i, r.off, r.n)
+			}
+			if r.off+r.n < r.off || r.off+r.n > total {
+				t.Fatalf("parseRanges(%q, %d)[%d] = {off %d, n %d}: out of bounds (or overflow)", h, total, i, r.off, r.n)
+			}
+			if i > 0 && r.off <= rngs[i-1].end()+1 {
+				t.Fatalf("parseRanges(%q, %d): parts %d,%d unsorted or uncoalesced: %+v", h, total, i-1, i, rngs)
+			}
 		}
-		r2, partial2, err2 := parseRange(r.header(), total)
-		if err2 != nil || !partial2 || r2 != r {
-			t.Fatalf("parseRange(%q, %d) = %+v, but reparsing its header %q gave (%+v, %v, %v)",
-				h, total, r, r.header(), r2, partial2, err2)
+		// Fixed point: rendering the set and reparsing returns it verbatim.
+		rendered := rangesHeader(rngs)
+		rngs2, partial2, err2 := parseRanges(rendered, total)
+		if err2 != nil || !partial2 || len(rngs2) != len(rngs) {
+			t.Fatalf("parseRanges(%q, %d) = %+v, but reparsing its header %q gave (%+v, %v, %v)",
+				h, total, rngs, rendered, rngs2, partial2, err2)
+		}
+		for i := range rngs {
+			if rngs2[i] != rngs[i] {
+				t.Fatalf("reparse drifted at part %d: %+v vs %+v", i, rngs[i], rngs2[i])
+			}
+		}
+		// The single-range wrapper agrees on every single-part result it
+		// accepts (it rejects all specs containing a comma, merged or not).
+		if len(rngs) == 1 {
+			if r1, p1, err1 := parseRange(rngs[0].header(), total); err1 != nil || !p1 || r1 != rngs[0] {
+				t.Fatalf("parseRange(%q, %d) = (%+v, %v, %v), disagrees with parseRanges",
+					rngs[0].header(), total, r1, p1, err1)
+			}
 		}
 	})
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestParseRange(t *testing.T) {
 		{"bytes=5", 0, 0, false, true},
 		{"bytes=9-5", 0, 0, false, true},
 		{"bytes=-0", 0, 0, false, true},
-		{"bytes=0-10,20-30", 0, 0, false, true}, // multipart unsupported
+		{"bytes=0-10,20-30", 0, 0, false, true}, // multipart where a single range is required
 		{"items=0-5", 0, 0, false, true},        // unknown unit
 		// Unsatisfiable.
 		{"bytes=10000-", 0, 0, false, true},
@@ -51,6 +52,76 @@ func TestParseRange(t *testing.T) {
 			t.Errorf("parseRange(%q) = {off %d, n %d} range=%v, want {off %d, n %d} range=%v",
 				tc.h, rng.off, rng.n, isRange, tc.off, tc.n, tc.isRange)
 		}
+	}
+}
+
+func TestParseRanges(t *testing.T) {
+	const total = 10000
+	type br = byteRange
+	cases := []struct {
+		h       string
+		want    []br
+		isRange bool
+		wantErr bool
+	}{
+		{"", []br{{0, total}}, false, false},
+		{"bytes=0-99", []br{{0, 100}}, true, false},
+		// Multipart: sorted by offset on the way out.
+		{"bytes=0-99,200-299", []br{{0, 100}, {200, 100}}, true, false},
+		{"bytes=200-299,0-99", []br{{0, 100}, {200, 100}}, true, false},
+		// Whitespace around parts is tolerated (RFC 7233 list syntax).
+		{"bytes=0-99, 200-299", []br{{0, 100}, {200, 100}}, true, false},
+		// Overlap and adjacency merge into one part.
+		{"bytes=0-99,50-149", []br{{0, 150}}, true, false},
+		{"bytes=0-99,100-199", []br{{0, 200}}, true, false},
+		{"bytes=0-99,0-99", []br{{0, 100}}, true, false},
+		// Containment collapses too.
+		{"bytes=0-999,100-199", []br{{0, 1000}}, true, false},
+		// Suffix and open-ended parts participate in merging.
+		{"bytes=0-99,-100", []br{{0, 100}, {total - 100, 100}}, true, false},
+		{"bytes=9000-,-2000", []br{{8000, 2000}}, true, false},
+		// One malformed or unsatisfiable part poisons the whole set.
+		{"bytes=0-99,oops", nil, false, true},
+		{"bytes=0-99,9-5", nil, false, true},
+		{"bytes=0-99,10000-", nil, false, true},
+		{"bytes=0-99,,200-299", nil, false, true},
+	}
+	for _, tc := range cases {
+		got, isRange, err := parseRanges(tc.h, total)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseRanges(%q): want error, got %+v", tc.h, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRanges(%q): %v", tc.h, err)
+			continue
+		}
+		if isRange != tc.isRange || len(got) != len(tc.want) {
+			t.Errorf("parseRanges(%q) = %+v range=%v, want %+v range=%v", tc.h, got, isRange, tc.want, tc.isRange)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseRanges(%q)[%d] = %+v, want %+v", tc.h, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseRangesPartCap(t *testing.T) {
+	const total = 100000
+	h := "bytes=0-0"
+	for i := 1; i < maxRangeParts; i++ {
+		h += fmt.Sprintf(",%d-%d", i*10, i*10)
+	}
+	if got, _, err := parseRanges(h, total); err != nil || len(got) != maxRangeParts {
+		t.Fatalf("at-cap spec rejected: %v (%d parts)", err, len(got))
+	}
+	h += fmt.Sprintf(",%d-%d", maxRangeParts*10, maxRangeParts*10)
+	if _, _, err := parseRanges(h, total); err == nil {
+		t.Fatal("over-cap spec accepted")
 	}
 }
 
