@@ -40,14 +40,23 @@
 #                  intended start times) writes a candidate record,
 #                  which scdn-perfgate compares against the checked-in
 #                  BENCH_delivery.json — knee throughput and knee p99
-#                  must stay inside the tolerance band.
+#                  must stay inside the tolerance band — and a fixed-seed
+#                  -large sweep is gated the same way against
+#                  BENCH_large.json's sustained MB/s (the byte axis).
+#   make largesmoke — fixed-seed large-object acceptance: a CI-sized
+#                  -large run (segmented datasets, whole/ranged/
+#                  segment-walk mix, every byte verified) that must
+#                  reconcile with zero failures and exercise the
+#                  segmented serve path (writes BENCH_large_smoke.json).
+#   make largebench — the byte-throughput measurement run whose record
+#                  is checked in as BENCH_large.json.
 
 GO ?= go
 
 .PHONY: check test lint race vet bench benchsmoke fuzzsmoke loadgen \
-	ci fmtcheck modverify churnsmoke ingestsmoke perfgate
+	ci fmtcheck modverify churnsmoke ingestsmoke perfgate largesmoke largebench
 
-check: vet lint test race fuzzsmoke benchsmoke
+check: vet lint test race fuzzsmoke benchsmoke largesmoke
 
 ci: fmtcheck modverify check
 
@@ -144,5 +153,32 @@ perfgate:
 	$(GO) run ./cmd/scdn-loadgen -openloop -nodes 3 -datasets 8 -store dir \
 		-rates 200,400,800,1600 -openloop-duration 2s -seed 42 \
 		-bench-out BENCH_openloop_candidate.json
+	$(GO) run ./cmd/scdn-loadgen -large -nodes 2 -datasets 2 -bytes 33554432 \
+		-segment-size 4194304 -rates 4,8,16 -openloop-duration 2s -seed 42 \
+		-bench-out BENCH_large_candidate.json
 	$(GO) run ./cmd/scdn-perfgate -baseline BENCH_delivery.json \
-		-candidate BENCH_openloop_candidate.json
+		-candidate BENCH_openloop_candidate.json \
+		-large-baseline BENCH_large.json \
+		-large-candidate BENCH_large_candidate.json
+
+# Fixed seed, CI-sized segments (1 MiB over 8 MiB datasets) so the run
+# finishes in seconds while still forcing the segmented layout, partial
+# residency, and the segment endpoint. -verify hashes every payload
+# byte in-stream: the smoke is a correctness gate, not a measurement —
+# largebench (no -verify) is the number that gets checked in.
+largesmoke:
+	$(GO) run ./cmd/scdn-loadgen -large -nodes 2 -datasets 2 -bytes 8388608 \
+		-segment-size 1048576 -rates 10,20 -openloop-duration 1s -seed 42 \
+		-verify -bench-out BENCH_large_smoke.json
+	grep -q '"failed": 0' BENCH_large_smoke.json
+	grep -q '"reconciled": true' BENCH_large_smoke.json
+	grep -q '"schema_version": 2' BENCH_large_smoke.json
+
+# The measurement run whose record is checked in as BENCH_large.json
+# (same shape the perfgate candidate uses, so the ratchet compares like
+# with like). To advance the baseline after an intentional change, re-run
+# and check in the new record.
+largebench:
+	$(GO) run ./cmd/scdn-loadgen -large -nodes 2 -datasets 2 -bytes 33554432 \
+		-segment-size 4194304 -rates 4,8,16 -openloop-duration 2s -seed 42 \
+		-bench-out BENCH_large.json

@@ -68,12 +68,53 @@ func main() {
 		churnFlag   = flag.String("churn", "", "inject node churn, e.g. 'kill=2,restart=5s' (in-process mode only)")
 		ingestMode  = flag.Bool("ingest", false, "ingest mode: upload opaque datasets, fetch under churn, require repair-by-copy")
 		openLoop    = flag.Bool("openloop", false, "open-loop mode: sweep seeded arrival rates, latency from intended start times")
-		ratesFlag   = flag.String("rates", "200,400,800,1600", "arrival-rate ladder in req/s for -openloop")
-		olDuration  = flag.Duration("openloop-duration", 2*time.Second, "per-rate schedule duration for -openloop")
+		ratesFlag   = flag.String("rates", "200,400,800,1600", "arrival-rate ladder in req/s for -openloop / -large")
+		olDuration  = flag.Duration("openloop-duration", 2*time.Second, "per-rate schedule duration for -openloop / -large")
 		maxConns    = flag.Int("max-conns", 64, "open-loop connection pool bound (queueing past it is charged to latency)")
 		distFlag    = flag.String("dist", loadharness.DistExponential, "inter-arrival distribution for -openloop: exp or uniform")
+		largeMode   = flag.Bool("large", false, "large-object mode: open-loop byte-throughput sweep with a seeded whole/ranged/segment-walk mix")
+		segSize     = flag.Int64("segment-size", storage.DefaultSegmentSize, "segment size for -large (multiple of the 64 KiB ingest block)")
+		storeQuota  = flag.Int64("store-quota", 0, "per-node disk-volume quota for -large (0: cluster default)")
 	)
 	flag.Parse()
+
+	if *largeMode {
+		if *churnFlag != "" || *ingestMode || *openLoop || *targets != "" {
+			fatal(fmt.Errorf("-large cannot be combined with -churn, -ingest, -openloop, or -targets"))
+		}
+		// Flags left at defaults get large-object-appropriate values:
+		// multi-hundred-MiB datasets, a rate ladder scaled to heavy
+		// requests, and no in-stream verification (hashing every byte on
+		// the client would measure SHA-256, not the serve path).
+		touched := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { touched[f.Name] = true })
+		if !touched["bytes"] {
+			*bytesPer = 256 << 20
+		}
+		if !touched["rates"] {
+			*ratesFlag = "1,2,4,8"
+		}
+		if !touched["datasets"] {
+			*datasets = 2
+		}
+		if !touched["verify"] {
+			*verify = false
+		}
+		if !touched["bench-out"] {
+			*benchOut = "BENCH_large.json"
+		}
+		rates, err := parseRates(*ratesFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runLarge(largeParams{
+			nodes: *nodes, datasets: *datasets, bytesPer: *bytesPer,
+			segSize: *segSize, storeQuota: *storeQuota,
+			rates: rates, duration: *olDuration, maxConns: *maxConns,
+			dist: *distFlag, seed: *seed, verify: *verify, benchOut: *benchOut,
+		})
+		return
+	}
 
 	if *openLoop {
 		if *churnFlag != "" || *ingestMode {

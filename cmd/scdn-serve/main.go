@@ -56,6 +56,9 @@ func main() {
 		storeQuota  = flag.Int64("store-quota", 0, "per-node replica volume byte quota in dir mode (0: replica reserve)")
 		churnFile   = flag.String("churn-script", "", "churn script file: one '<offset> <action> <node>' per line (kill/stop/restart)")
 		noSeed      = flag.Bool("no-seed", false, "start with zero datasets; publish via PUT /v1/datasets (forces -store dir)")
+		segSize     = flag.Int64("segment-size", 0, "segmented large-object layout: segment bytes, a multiple of the 64 KiB ingest block (0: default 4 MiB)")
+		segThresh   = flag.Int64("segment-threshold", 0, "store and serve datasets at or above this size as segments (0: default 16 MiB, negative: disable)")
+		keepPages   = flag.Bool("keep-segment-pages", false, "keep served segment pages in the page cache (skip the post-serve DONTNEED drop)")
 	)
 	flag.Parse()
 
@@ -85,7 +88,10 @@ func main() {
 		Seed: *seed, PullThrough: *pullThrough, Group: *group,
 		ListenHost: *host, CatalogShards: *shards, BlockCacheBlocks: *blockCache,
 		StoreMode: *store, StoreDir: *storeDir, StoreQuota: *storeQuota,
-		NoSeedDatasets: *noSeed,
+		NoSeedDatasets:   *noSeed,
+		SegmentSize:      *segSize,
+		SegmentThreshold: *segThresh,
+		KeepSegmentPages: *keepPages,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scdn-serve:", err)

@@ -39,6 +39,13 @@ type TransferOptions struct {
 	Token string
 	// Stripes is the parallel range count (values < 1 mean 1).
 	Stripes int
+	// SegmentSize, when positive, aligns download stripe boundaries to
+	// the serving plane's segment size (as advertised by /v1/resolve for
+	// segmented large objects) instead of the manifest block size. A
+	// segment-aligned stripe never straddles two segment files on the
+	// edge, so each stripe is one sequential segment walk there. It must
+	// be a multiple of the manifest block size or it is ignored.
+	SegmentSize int64
 }
 
 func (o *TransferOptions) client() *http.Client {
@@ -168,12 +175,18 @@ func putStripe(ctx context.Context, opts TransferOptions, base string, id storag
 // trusted. Endpoints should list replica holders (from a resolve).
 func Download(ctx context.Context, opts TransferOptions, man *ingest.Manifest,
 	dst io.WriterAt) (stripe.Result, error) {
+	align := man.BlockSize
+	if opts.SegmentSize > 0 && man.BlockSize > 0 && opts.SegmentSize%man.BlockSize == 0 {
+		// Segment-aligned stripes stay block-aligned (segments are whole
+		// blocks), so in-stream range verification is unaffected.
+		align = opts.SegmentSize
+	}
 	return stripe.Fetch(ctx, stripe.Options{
 		Client:    opts.Client,
 		Endpoints: opts.Endpoints,
 		Token:     opts.Token,
 		Stripes:   opts.Stripes,
-		Align:     man.BlockSize,
+		Align:     align,
 		NewVerifier: func(off, length int64) (io.WriteCloser, error) {
 			return man.NewRangeVerifier(off, length)
 		},

@@ -165,6 +165,21 @@ type Latency struct {
 	Max  float64 `json:"max,omitempty"`
 }
 
+// Digest summarizes the histogram in its native units — used for
+// per-request byte-throughput (MB/s) distributions, where the
+// millisecond scaling of LatencyMS does not apply. The bucket geometry
+// covers MB/s values up to ~64,000, far past anything a single box
+// serves.
+func (h *Hist) Digest() Latency {
+	return Latency{
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.5),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		Max:  h.Max(),
+	}
+}
+
 // LatencyMS digests the histogram into milliseconds.
 func (h *Hist) LatencyMS() Latency {
 	return Latency{

@@ -129,3 +129,24 @@ func TestLatencyMS(t *testing.T) {
 		t.Error("String() empty")
 	}
 }
+
+// TestHistDigestNativeUnits: Digest must summarize in the histogram's
+// own units (MB/s for byte-rate hists), 1000× smaller than LatencyMS's
+// millisecond scaling of the same buckets.
+func TestHistDigestNativeUnits(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(2.0) // e.g. 2 MB/s per request
+	}
+	d := h.Digest()
+	if d.P50 < 1.9 || d.P50 > 2.2 {
+		t.Fatalf("native p50 = %g, want ~2", d.P50)
+	}
+	ms := h.LatencyMS()
+	if got := ms.P50 / d.P50; got < 999 || got > 1001 {
+		t.Fatalf("LatencyMS/Digest ratio = %g, want 1000", got)
+	}
+	if d.Max != h.Max() || d.Mean != h.Mean() {
+		t.Fatalf("digest mean/max diverge from accessors: %+v", d)
+	}
+}

@@ -36,10 +36,20 @@ type RateResult struct {
 	// from the moment the schedule said the request should begin (not
 	// from when a connection freed up) to its completion.
 	LatencyMS Latency `json:"latency_ms"`
+	// Bytes, AchievedMBps, and RequestMBps appear only on byte-measured
+	// steps (RunBytes): total payload bytes moved, wall-clock byte
+	// throughput in MB/s (1e6 bytes), and the per-request MB/s
+	// distribution — the step's second axis, so a serve path that keeps
+	// its request knee but halves its byte rate is still caught.
+	Bytes        uint64   `json:"bytes,omitempty"`
+	AchievedMBps float64  `json:"achieved_mbps,omitempty"`
+	RequestMBps  *Latency `json:"request_mbps,omitempty"`
 
-	// Hist carries the raw histogram for callers that aggregate; it is
-	// not serialized.
-	Hist *Hist `json:"-"`
+	// Hist carries the raw latency histogram for callers that
+	// aggregate; MBpsHist the per-request MB/s histogram of a
+	// byte-measured step. Neither is serialized.
+	Hist     *Hist `json:"-"`
+	MBpsHist *Hist `json:"-"`
 }
 
 // Run executes one open-loop step: arrivals fire on the seeded schedule
@@ -49,6 +59,21 @@ type RateResult struct {
 // failure (the latency is still recorded — failures are usually the
 // slow ones, dropping them would re-introduce the omission).
 func Run(ctx context.Context, cfg RunConfig, do func(context.Context) error) (RateResult, error) {
+	res, err := RunBytes(ctx, cfg, func(ctx context.Context) (int64, error) {
+		return 0, do(ctx)
+	})
+	// A request-only run carries no byte axis.
+	res.Bytes, res.AchievedMBps, res.RequestMBps, res.MBpsHist = 0, 0, nil, nil
+	return res, err
+}
+
+// RunBytes is Run for byte-throughput measurement: do additionally
+// reports how many payload bytes the request moved, and the step's
+// result carries the byte axis — total bytes, wall-clock MB/s, and the
+// per-request MB/s distribution (each request's bytes over its
+// intended-start-time latency, so queueing delay depresses the number
+// exactly as a client would experience it).
+func RunBytes(ctx context.Context, cfg RunConfig, do func(context.Context) (int64, error)) (RateResult, error) {
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 64
 	}
@@ -64,6 +89,8 @@ func Run(ctx context.Context, cfg RunConfig, do func(context.Context) error) (Ra
 	}
 	var (
 		hist   Hist
+		mbps   Hist
+		bytes  atomic.Uint64
 		issued atomic.Uint64
 		failed atomic.Uint64
 		wg     sync.WaitGroup
@@ -94,11 +121,19 @@ func Run(ctx context.Context, cfg RunConfig, do func(context.Context) error) (Ra
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{} // pool slot; the wait counts against latency
-			err := do(ctx)
+			n, err := do(ctx)
 			<-sem
-			hist.Observe(time.Since(intended).Seconds())
+			lat := time.Since(intended).Seconds()
+			hist.Observe(lat)
 			if err != nil {
 				failed.Add(1)
+				return
+			}
+			if n > 0 {
+				bytes.Add(uint64(n))
+				if lat > 0 {
+					mbps.Observe(float64(n) / lat / 1e6)
+				}
 			}
 		}()
 	}
@@ -108,11 +143,18 @@ func Run(ctx context.Context, cfg RunConfig, do func(context.Context) error) (Ra
 		OfferedRPS: cfg.Rate,
 		Issued:     issued.Load(),
 		Failed:     failed.Load(),
+		Bytes:      bytes.Load(),
 		LatencyMS:  hist.LatencyMS(),
 		Hist:       &hist,
+		MBpsHist:   &mbps,
 	}
 	if elapsed > 0 {
 		res.AchievedRPS = float64(issued.Load()-failed.Load()) / elapsed
+		res.AchievedMBps = float64(bytes.Load()) / elapsed / 1e6
+	}
+	if mbps.Count() > 0 {
+		d := mbps.Digest()
+		res.RequestMBps = &d
 	}
 	return res, nil
 }
@@ -135,12 +177,20 @@ type SweepConfig struct {
 // Sweep runs one open-loop step per configured rate, in order, and
 // returns the per-rate results.
 func Sweep(ctx context.Context, cfg SweepConfig, do func(context.Context) error) ([]RateResult, error) {
+	return SweepBytes(ctx, cfg, func(ctx context.Context) (int64, error) {
+		return 0, do(ctx)
+	})
+}
+
+// SweepBytes is Sweep over a byte-measuring request function: each
+// step's result carries the byte-throughput axis (see RunBytes).
+func SweepBytes(ctx context.Context, cfg SweepConfig, do func(context.Context) (int64, error)) ([]RateResult, error) {
 	if len(cfg.Rates) == 0 {
 		return nil, fmt.Errorf("loadharness: sweep needs at least one arrival rate")
 	}
 	out := make([]RateResult, 0, len(cfg.Rates))
 	for i, rate := range cfg.Rates {
-		res, err := Run(ctx, RunConfig{
+		res, err := RunBytes(ctx, RunConfig{
 			Rate: rate, Duration: cfg.Duration, MaxConns: cfg.MaxConns,
 			Dist: cfg.Dist, Seed: cfg.Seed + int64(i),
 		}, do)

@@ -176,3 +176,76 @@ func TestKnee(t *testing.T) {
 		}
 	})
 }
+
+// TestRunBytesByteAxis checks the byte-measured step: total bytes sum
+// over successful requests, wall-clock MB/s reconciles with
+// bytes/elapsed, and the per-request MB/s distribution is populated in
+// native units.
+func TestRunBytesByteAxis(t *testing.T) {
+	const perReq = int64(50_000)
+	res, err := RunBytes(context.Background(), RunConfig{
+		Rate: 1000, Duration: 200 * time.Millisecond, Seed: 3,
+	}, func(context.Context) (int64, error) {
+		return perReq, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued == 0 {
+		t.Fatal("no requests issued")
+	}
+	if want := res.Issued * uint64(perReq); res.Bytes != want {
+		t.Fatalf("Bytes = %d, want %d (issued %d × %d)", res.Bytes, want, res.Issued, perReq)
+	}
+	if res.AchievedMBps <= 0 {
+		t.Fatalf("AchievedMBps = %g, want > 0", res.AchievedMBps)
+	}
+	if res.RequestMBps == nil || res.RequestMBps.P50 <= 0 {
+		t.Fatalf("RequestMBps = %+v, want populated distribution", res.RequestMBps)
+	}
+	if res.MBpsHist == nil || res.MBpsHist.Count() == 0 {
+		t.Fatal("MBpsHist not carried")
+	}
+	// AchievedMBps is bytes over wall-clock: it can never exceed the
+	// fastest per-request rate times concurrency, and for instant
+	// requests it lands near offered-rate × perReq / 1e6 = 50 MB/s.
+	if res.AchievedMBps < 10 || res.AchievedMBps > 200 {
+		t.Errorf("AchievedMBps = %g, want ~50", res.AchievedMBps)
+	}
+}
+
+// TestRunBytesFailuresCarryNoBytes: failed requests count in Failed and
+// latency but contribute nothing to the byte axis.
+func TestRunBytesFailuresCarryNoBytes(t *testing.T) {
+	res, err := RunBytes(context.Background(), RunConfig{
+		Rate: 500, Duration: 100 * time.Millisecond, Seed: 4,
+	}, func(context.Context) (int64, error) {
+		return 0, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != res.Issued || res.Issued == 0 {
+		t.Fatalf("Failed = %d, Issued = %d, want all failed", res.Failed, res.Issued)
+	}
+	if res.Bytes != 0 || res.AchievedMBps != 0 || res.RequestMBps != nil {
+		t.Fatalf("failed run leaked a byte axis: %+v", res)
+	}
+	if res.AchievedRPS != 0 {
+		t.Errorf("AchievedRPS = %g with all requests failed, want 0", res.AchievedRPS)
+	}
+}
+
+// TestRunDropsByteAxis: the request-only wrapper must not report bytes
+// even though it rides RunBytes internally.
+func TestRunDropsByteAxis(t *testing.T) {
+	res, err := Run(context.Background(), RunConfig{
+		Rate: 500, Duration: 100 * time.Millisecond, Seed: 5,
+	}, func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 0 || res.AchievedMBps != 0 || res.RequestMBps != nil || res.MBpsHist != nil {
+		t.Fatalf("request-only run carries a byte axis: %+v", res)
+	}
+}

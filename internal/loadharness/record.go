@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 )
 
 // SchemaVersion is the current BENCH_*.json schema. History:
@@ -33,6 +34,22 @@ func CurrentHost() Host {
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 	}
+}
+
+// HostMismatch describes the hardware-context differences between two
+// host blocks that make their numbers incomparable, or "" when there
+// are none. The gate warns on a mismatch rather than failing: a knee
+// measured at GOMAXPROCS=1 against a 16-core baseline is not a
+// regression, it is a different experiment.
+func HostMismatch(a, b Host) string {
+	var diffs []string
+	if a.GOMAXPROCS != b.GOMAXPROCS {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d vs %d", a.GOMAXPROCS, b.GOMAXPROCS))
+	}
+	if a.NumCPU != b.NumCPU {
+		diffs = append(diffs, fmt.Sprintf("NumCPU %d vs %d", a.NumCPU, b.NumCPU))
+	}
+	return strings.Join(diffs, ", ")
 }
 
 // KneePoint is the sweep's operating point: the highest arrival rate
@@ -143,6 +160,64 @@ func ReadDeliveryRecord(path string) (*DeliveryRecord, error) {
 	return &rec, nil
 }
 
+// LargeMix records how many requests of each flavor a large-object
+// run's seeded mix issued: whole-object GETs, ranged window fetches,
+// and segment walks (every segment of a dataset via the segment
+// endpoint, in order).
+type LargeMix struct {
+	Whole       uint64 `json:"whole"`
+	Ranged      uint64 `json:"ranged"`
+	SegmentWalk uint64 `json:"segment_walk"`
+}
+
+// LargeRecord is the BENCH_large.json schema: the large-object
+// delivery engine's byte-throughput trajectory — the perf ratchet's
+// second axis, next to BENCH_delivery.json's request-latency knee.
+// The store counters are scraped from the cluster's /metrics after the
+// sweep, so a record proves the segmented path actually ran (nonzero
+// segmented_serves) rather than measuring the whole-file path by
+// accident.
+type LargeRecord struct {
+	SchemaVersion     int       `json:"schema_version"`
+	Host              Host      `json:"host"`
+	Mode              string    `json:"mode"` // "open-loop"
+	Seed              int64     `json:"seed"`
+	Edges             int       `json:"edges"`
+	Datasets          int       `json:"datasets"`
+	BytesPerDataset   int64     `json:"bytes_per_dataset"`
+	SegmentSize       int64     `json:"segment_size"`
+	StoreQuota        int64     `json:"store_quota"`
+	Mix               LargeMix  `json:"mix"`
+	TotalBytes        uint64    `json:"total_bytes"`
+	ElapsedSeconds    float64   `json:"elapsed_seconds"`
+	SustainedMBps     float64   `json:"sustained_mbps"` // wall-clock MB/s at the knee step
+	LatencyMS         Latency   `json:"latency_ms"`
+	RequestMBps       Latency   `json:"request_mbps"`
+	Failed            uint64    `json:"failed"`
+	SegmentedServes   uint64    `json:"segmented_serves"`
+	SegmentFetches    uint64    `json:"segment_fetches"`
+	SegmentPulls      uint64    `json:"segment_pulls"`
+	FadviseSequential uint64    `json:"fadvise_sequential"`
+	FadviseDontNeed   uint64    `json:"fadvise_dontneed"`
+	Materializations  uint64    `json:"materializations"`
+	MaterializedBytes uint64    `json:"materialized_bytes"`
+	Reconciled        bool      `json:"reconciled"`
+	OpenLoop          *OpenLoop `json:"open_loop,omitempty"`
+}
+
+// ReadLargeRecord loads a BENCH_large.json history record.
+func ReadLargeRecord(path string) (*LargeRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec LargeRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("loadharness: parse %s: %w", path, err)
+	}
+	return &rec, nil
+}
+
 // GateOptions tunes the perfgate tolerance band. Zero values get
 // defaults suited to shared CI runners (loose but real).
 type GateOptions struct {
@@ -204,6 +279,45 @@ func CompareDelivery(baseline, candidate *DeliveryRecord, opt GateOptions) error
 	if cand.P99MS > p99Cap {
 		return fmt.Errorf("perfgate: knee p99 regressed: %.2fms > %.2fms cap (baseline %.2fms, inflation %.1fx)",
 			cand.P99MS, p99Cap, base.P99MS, opt.MaxP99Inflation)
+	}
+	return nil
+}
+
+// CompareLarge is the byte-throughput axis of the perf ratchet: the
+// candidate BENCH_large.json must be healthy (reconciled, zero
+// unexcused failures, a real open-loop knee, the segmented path
+// actually exercised) and its sustained MB/s at the knee must not fall
+// more than Tolerance below the checked-in baseline's. Latency is
+// DeliveryRecord's axis; this one guards bytes.
+func CompareLarge(baseline, candidate *LargeRecord, opt GateOptions) error {
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 0.5
+	}
+	if candidate == nil {
+		return fmt.Errorf("perfgate: no large candidate record")
+	}
+	if !candidate.Reconciled {
+		return fmt.Errorf("perfgate: large candidate record did not reconcile against /metrics")
+	}
+	if candidate.Failed != 0 {
+		return fmt.Errorf("perfgate: large candidate recorded %d failed requests", candidate.Failed)
+	}
+	if candidate.OpenLoop == nil || candidate.OpenLoop.Knee == nil {
+		return fmt.Errorf("perfgate: large candidate record has no open-loop knee (run scdn-loadgen -large)")
+	}
+	if candidate.SegmentedServes == 0 && candidate.SegmentFetches == 0 {
+		return fmt.Errorf("perfgate: large candidate never hit the segmented path (segmented_serves and segment_fetches both zero)")
+	}
+	if candidate.SustainedMBps <= 0 {
+		return fmt.Errorf("perfgate: large candidate sustained 0 MB/s")
+	}
+	if baseline == nil {
+		// First record starts the ratchet.
+		return nil
+	}
+	if floor := baseline.SustainedMBps * (1 - opt.Tolerance); candidate.SustainedMBps < floor {
+		return fmt.Errorf("perfgate: sustained byte throughput regressed: %.1f MB/s < %.1f MB/s (baseline %.1f, tolerance %.0f%%)",
+			candidate.SustainedMBps, floor, baseline.SustainedMBps, opt.Tolerance*100)
 	}
 	return nil
 }

@@ -162,3 +162,131 @@ func TestCompareDeliveryRatchet(t *testing.T) {
 		}
 	})
 }
+
+func TestHostMismatch(t *testing.T) {
+	a := Host{GOMAXPROCS: 1, NumCPU: 1, GoVersion: "go1.24"}
+	if diff := HostMismatch(a, a); diff != "" {
+		t.Fatalf("identical hosts reported a mismatch: %q", diff)
+	}
+	// Go version alone is not a hardware mismatch.
+	b := a
+	b.GoVersion = "go1.25"
+	if diff := HostMismatch(a, b); diff != "" {
+		t.Fatalf("go-version-only difference reported: %q", diff)
+	}
+	b = Host{GOMAXPROCS: 16, NumCPU: 32, GoVersion: "go1.24"}
+	diff := HostMismatch(a, b)
+	if !strings.Contains(diff, "GOMAXPROCS 1 vs 16") || !strings.Contains(diff, "NumCPU 1 vs 32") {
+		t.Fatalf("mismatch description incomplete: %q", diff)
+	}
+}
+
+func healthyLargeRecord(mbps float64) *LargeRecord {
+	return &LargeRecord{
+		SchemaVersion:   SchemaVersion,
+		Host:            CurrentHost(),
+		Mode:            "open-loop",
+		SustainedMBps:   mbps,
+		SegmentedServes: 40,
+		SegmentFetches:  12,
+		Reconciled:      true,
+		OpenLoop: &OpenLoop{
+			Knee: &KneePoint{OfferedRPS: 8, AchievedRPS: 8, P99MS: 30},
+		},
+	}
+}
+
+func TestLargeRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_large.json")
+	rec := healthyLargeRecord(120)
+	rec.Mix = LargeMix{Whole: 10, Ranged: 25, SegmentWalk: 15}
+	rec.SegmentSize = 4 << 20
+	rec.BytesPerDataset = 256 << 20
+	if err := WriteRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLargeRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SustainedMBps != 120 || got.Mix.Ranged != 25 || got.SegmentSize != 4<<20 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.OpenLoop == nil || got.OpenLoop.Knee == nil {
+		t.Fatal("round trip lost the open-loop knee")
+	}
+	if _, err := ReadLargeRecord(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing large record accepted")
+	}
+}
+
+// TestCompareLargeRatchet is the byte axis's gate test, mirror of
+// TestCompareDeliveryRatchet: healthy candidates pass, doctored
+// byte-throughput regressions and unhealthy records demonstrably fail.
+func TestCompareLargeRatchet(t *testing.T) {
+	baseline := healthyLargeRecord(100)
+
+	t.Run("healthy candidate passes", func(t *testing.T) {
+		if err := CompareLarge(baseline, healthyLargeRecord(90), GateOptions{}); err != nil {
+			t.Fatalf("healthy candidate rejected: %v", err)
+		}
+	})
+	t.Run("doctored byte-throughput regression fails", func(t *testing.T) {
+		err := CompareLarge(baseline, healthyLargeRecord(30), GateOptions{})
+		if err == nil || !strings.Contains(err.Error(), "byte throughput regressed") {
+			t.Fatalf("doctored byte record passed the gate: %v", err)
+		}
+	})
+	t.Run("no baseline starts the ratchet", func(t *testing.T) {
+		if err := CompareLarge(nil, healthyLargeRecord(5), GateOptions{}); err != nil {
+			t.Fatalf("first record rejected: %v", err)
+		}
+	})
+	t.Run("candidate off the segmented path fails", func(t *testing.T) {
+		cand := healthyLargeRecord(100)
+		cand.SegmentedServes, cand.SegmentFetches = 0, 0
+		err := CompareLarge(baseline, cand, GateOptions{})
+		if err == nil || !strings.Contains(err.Error(), "segmented path") {
+			t.Fatalf("whole-file-path candidate passed the byte gate: %v", err)
+		}
+	})
+	t.Run("segment-endpoint-only candidate passes", func(t *testing.T) {
+		cand := healthyLargeRecord(100)
+		cand.SegmentedServes = 0 // all traffic via /segments/{n}
+		if err := CompareLarge(baseline, cand, GateOptions{}); err != nil {
+			t.Fatalf("segment-endpoint candidate rejected: %v", err)
+		}
+	})
+	t.Run("failed requests fail the gate", func(t *testing.T) {
+		cand := healthyLargeRecord(100)
+		cand.Failed = 1
+		if err := CompareLarge(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("candidate with failures passed")
+		}
+	})
+	t.Run("unreconciled candidate fails", func(t *testing.T) {
+		cand := healthyLargeRecord(100)
+		cand.Reconciled = false
+		if err := CompareLarge(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("unreconciled candidate passed")
+		}
+	})
+	t.Run("candidate without knee fails", func(t *testing.T) {
+		cand := healthyLargeRecord(100)
+		cand.OpenLoop = nil
+		if err := CompareLarge(baseline, cand, GateOptions{}); err == nil {
+			t.Fatal("knee-less candidate passed")
+		}
+	})
+	t.Run("zero sustained throughput fails", func(t *testing.T) {
+		if err := CompareLarge(nil, healthyLargeRecord(0), GateOptions{}); err == nil {
+			t.Fatal("0 MB/s candidate passed")
+		}
+	})
+	t.Run("custom tolerance", func(t *testing.T) {
+		err := CompareLarge(baseline, healthyLargeRecord(75), GateOptions{Tolerance: 0.2})
+		if err == nil {
+			t.Fatal("25% drop passed a 20% tolerance")
+		}
+	})
+}

@@ -21,6 +21,11 @@ const (
 	allocBudgetDiskRange = 0
 	allocBudgetGenFull   = 0 // pooled copy buffer + pooled scratch
 	allocBudgetGenRange  = 0
+	// The warm segmented path crosses segment boundaries (pooled FDs,
+	// interned segment keys) and must stay as lean as the whole-file
+	// path (ISSUE 8 acceptance).
+	allocBudgetSegFull  = 0
+	allocBudgetSegRange = 0
 	// Resolve walks the sharded catalog and copies one replica record
 	// out under the shard lock; the copy and the per-call rand draw
 	// dominate.
@@ -76,6 +81,15 @@ func TestServeAllocBudgets(t *testing.T) {
 		}
 		return benchNode(vol)
 	}
+	// Segmented node: 64 KiB segments with the threshold at one segment,
+	// so the 256 KiB test dataset takes the segmented layout (4 segments;
+	// the range below crosses the 0-1 boundary).
+	newSegNode := func(t *testing.T) *Node {
+		n := newDiskNode(t)
+		n.cfg.SegmentSize = 64 << 10
+		n.cfg.SegmentThreshold = 64 << 10
+		return n
+	}
 	cases := []struct {
 		name     string
 		node     func(*testing.T) *Node
@@ -86,6 +100,8 @@ func TestServeAllocBudgets(t *testing.T) {
 		{"disk/range", newDiskNode, rangeHdr, allocBudgetDiskRange},
 		{"generated/full", func(*testing.T) *Node { return benchNode(nil) }, "", allocBudgetGenFull},
 		{"generated/range", func(*testing.T) *Node { return benchNode(nil) }, rangeHdr, allocBudgetGenRange},
+		{"segment/full", newSegNode, "", allocBudgetSegFull},
+		{"segment/range", newSegNode, rangeHdr, allocBudgetSegRange},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

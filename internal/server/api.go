@@ -6,6 +6,7 @@ package server
 //	POST /v1/login    LoginRequest → LoginResponse
 //	POST /v1/resolve  ResolveRequest → ResolveResponse   (Bearer token)
 //	GET  /v1/fetch/{dataset}  → payload bytes            (Bearer token)
+//	GET  /v1/fetch/{dataset}/segments/{n}  → one segment (Bearer token)
 //	PUT  /v1/datasets/{dataset}  octet-stream → manifest (Bearer token)
 //	POST /v1/report   ReportRequest → 204                (Bearer token)
 //	POST /v1/replicate  ReplicateRequest → ReplicateResponse (Bearer token)
@@ -53,14 +54,26 @@ type ResolveRequest struct {
 // the holder contributes storage but no HTTP endpoint. Replicas lists
 // every online holder so striped clients can fan range fetches out across
 // them (the GridFTP-style parallel transfer of Section V-A).
+//
+// For datasets the serving plane stores segmented (large objects at or
+// above the node's segment threshold), SegmentSize and Segments
+// describe the HLS-style segment index behind
+// GET /v1/fetch/{dataset}/segments/{n}: segment i covers bytes
+// [i*SegmentSize, min((i+1)*SegmentSize, Bytes)). SegmentDigests, when
+// present, carries the per-segment roll-up of the manifest's block
+// digests (hex SHA-256), so a client can spot-check any piece without
+// the full manifest. All three are absent for unsegmented datasets.
 type ResolveResponse struct {
-	Dataset  string        `json:"dataset"`
-	Node     int64         `json:"node"`
-	Site     int           `json:"site"`
-	URL      string        `json:"url,omitempty"`
-	Origin   bool          `json:"origin"`
-	Bytes    int64         `json:"bytes"`
-	Replicas []ReplicaInfo `json:"replicas,omitempty"`
+	Dataset        string        `json:"dataset"`
+	Node           int64         `json:"node"`
+	Site           int           `json:"site"`
+	URL            string        `json:"url,omitempty"`
+	Origin         bool          `json:"origin"`
+	Bytes          int64         `json:"bytes"`
+	Replicas       []ReplicaInfo `json:"replicas,omitempty"`
+	SegmentSize    int64         `json:"segment_size,omitempty"`
+	Segments       int64         `json:"segments,omitempty"`
+	SegmentDigests []string      `json:"segment_digests,omitempty"`
 }
 
 // ReplicaInfo is one online replica holder in a ResolveResponse.

@@ -55,6 +55,14 @@ type ClusterConfig struct {
 	// StoreQuota bounds each node's replica volume in "dir" mode
 	// (default ReplicaReserve).
 	StoreQuota int64
+	// SegmentSize / SegmentThreshold configure every node's segmented
+	// large-object layout (see Config). Zeros take the storage package
+	// defaults; a negative threshold disables segmentation.
+	SegmentSize      int64
+	SegmentThreshold int64
+	// KeepSegmentPages disables the page-cache DONTNEED drop behind
+	// completed sequential segment serves (see Config).
+	KeepSegmentPages bool
 	// Group is the collaboration every participant and dataset belongs
 	// to (default "live-collab").
 	Group string
@@ -223,6 +231,9 @@ func StartLocalCluster(cfg ClusterConfig) (*LocalCluster, error) {
 			Volume:           vol,
 			Sweep:            cfg.Sweep,
 			Manifests:        manifests,
+			SegmentSize:      cfg.SegmentSize,
+			SegmentThreshold: cfg.SegmentThreshold,
+			KeepSegmentPages: cfg.KeepSegmentPages,
 			Clock:            clock,
 		}, repo, mw, catalog, reg)
 		if err != nil {

@@ -24,6 +24,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/login", n.handleLogin)
 	mux.HandleFunc("POST /v1/resolve", n.handleResolve)
 	mux.HandleFunc("GET /v1/fetch/{dataset}", n.handleFetch)
+	mux.HandleFunc("GET /v1/fetch/{dataset}/segments/{n}", n.handleFetchSegment)
 	mux.HandleFunc("PUT /v1/datasets/{dataset}", n.handleUpload)
 	mux.HandleFunc("POST /v1/report", n.handleReport)
 	mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
@@ -167,7 +168,7 @@ func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	writeJSON(w, http.StatusOK, ResolveResponse{
+	resp := ResolveResponse{
 		Dataset:  req.Dataset,
 		Node:     rep.Node,
 		Site:     rep.Site,
@@ -175,7 +176,17 @@ func (n *Node) handleResolve(w http.ResponseWriter, r *http.Request) {
 		Origin:   rep.Node == origin,
 		Bytes:    bytes,
 		Replicas: holders,
-	})
+	}
+	// Segmented datasets publish their segment index (an HLS-style
+	// manifest): size, count, and the rolled-up per-segment digests, so
+	// clients can plan stripes on segment boundaries and spot-check
+	// pieces without the full block manifest.
+	if n.segmented(bytes) {
+		resp.SegmentSize = n.cfg.SegmentSize
+		resp.Segments = storage.SegmentCount(bytes, n.cfg.SegmentSize)
+		resp.SegmentDigests = n.segmentDigestIndex(id, bytes)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (n *Node) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -268,6 +279,20 @@ func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, id storage.Dat
 	rngs []byteRange, isRange bool, total int64) bool {
 	man, hasMan := n.manifests.Get(id)
 	opaque := hasMan && man.Opaque
+	// Large regenerable datasets take the segmented layout: per-segment
+	// files materialized on demand, so the volume never commits to one
+	// monolithic large file and a quota-constrained edge still serves
+	// datasets bigger than itself. A whole-file replica that already
+	// exists (e.g. committed before the threshold changed) is still
+	// served as one file below; opaque datasets always are — their
+	// missing segments could never be re-derived.
+	if n.vol != nil && !opaque && n.segmented(total) && !n.vol.Has(id) {
+		if n.serveSegments(w, r, id, rngs, isRange, total) {
+			return true
+		}
+		n.serveGenerated(w, r, id, rngs, isRange, total)
+		return true
+	}
 	if n.vol != nil && n.serveDisk(w, r, id, rngs, isRange, total, opaque) {
 		return true
 	}
@@ -618,14 +643,29 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	// fail the client's fetch: the spill is poisoned, aborted at the end,
 	// and counted.
 	var spill *storage.Spill
+	var segSpill *segmentSpillWriter
 	man, hasMan := n.manifests.Get(id)
 	opaque := hasMan && man.Opaque
 	pullThrough := n.cfg.PullThrough && !isRange
-	if pullThrough && n.vol != nil && total <= n.vol.Quota() {
-		if sp, serr := n.vol.NewSpill(id); serr == nil {
-			spill = sp
-		} else {
-			n.Metrics.StoreSpillFailures.Inc()
+	if pullThrough && n.vol != nil {
+		if n.segmented(total) {
+			// Large objects adopt per segment: the stream is cut on
+			// segment boundaries, each piece verified against its block
+			// digests and committed the moment it completes — an
+			// interrupted pull still leaves servable segments behind,
+			// and a dataset bigger than the whole volume still caches
+			// its hot prefix. Without a manifest whose block size
+			// divides the segment size there is nothing to verify
+			// against, so nothing is adopted.
+			if hasMan && n.cfg.SegmentSize%man.BlockSize == 0 {
+				segSpill = &segmentSpillWriter{n: n, id: id, man: man, total: total}
+			}
+		} else if total <= n.vol.Quota() {
+			if sp, serr := n.vol.NewSpill(id); serr == nil {
+				spill = sp
+			} else {
+				n.Metrics.StoreSpillFailures.Inc()
+			}
 		}
 	}
 	// Peer bytes are never trusted on faith: when the dataset has a
@@ -669,7 +709,11 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 	w.WriteHeader(status)
 	dst := io.Writer(w)
 	var spillW *bestEffortWriter
-	if spill != nil {
+	switch {
+	case segSpill != nil:
+		spillW = &bestEffortWriter{w: segSpill}
+		dst = io.MultiWriter(w, spillW)
+	case spill != nil:
 		sink := io.Writer(spill)
 		if verifier != nil {
 			sink = io.MultiWriter(verifier, spill)
@@ -684,6 +728,12 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 			spill.Abort()
 			n.Metrics.StoreSpillFailures.Inc()
 		}
+		if segSpill != nil {
+			// The tail segment aborts; every segment that completed and
+			// verified before the failure stays adopted.
+			segSpill.finish()
+			n.noteSegSpillErr(spillW)
+		}
 		n.Metrics.FetchFailures.Inc()
 		return true, copyErr
 	}
@@ -693,6 +743,15 @@ func (n *Node) tryPeer(w http.ResponseWriter, r *http.Request, id storage.Datase
 		n.Metrics.PeerHits.Inc()
 	}
 	committedSpill := false
+	if segSpill != nil {
+		// Segment-granular adoption never mints a catalog replica record
+		// (even at full coverage): segments are pieces, individually
+		// evictable, so the holder claim stays with whole-file replicas
+		// and generator-backed datasets. finish aborts a half-received
+		// tail segment and keeps everything that committed.
+		segSpill.finish()
+		n.noteSegSpillErr(spillW)
+	}
 	if spill != nil {
 		var verr error
 		if spillW.err == nil && verifier != nil {

@@ -101,6 +101,24 @@ type Metrics struct {
 	StoreMaterializedBytes metrics.Counter
 	StoreSpills            metrics.Counter
 	StoreSpillFailures     metrics.Counter
+	// Segmented large-object delivery instrumentation (segments.go).
+	// SegmentedServes counts whole-dataset fetches answered from the
+	// per-segment layout; SegmentFetchRequests / SegmentFetchFailures
+	// count client-facing GET /v1/fetch/{id}/segments/{n} calls and
+	// their failures, PeerSegmentFetchRequests the peer hops of segment
+	// proxies; SegmentPulls counts verified segments adopted into the
+	// local volume from peer streams (pull-through at segment
+	// granularity); StoreFadviseSequential / StoreFadviseDontNeed count
+	// applied page-cache hints — readahead advice on fresh segment
+	// descriptors and page drops behind completed sequential serves
+	// (zero on platforms without posix_fadvise).
+	SegmentedServes          metrics.Counter
+	SegmentFetchRequests     metrics.Counter
+	SegmentFetchFailures     metrics.Counter
+	PeerSegmentFetchRequests metrics.Counter
+	SegmentPulls             metrics.Counter
+	StoreFadviseSequential   metrics.Counter
+	StoreFadviseDontNeed     metrics.Counter
 	// ReportedAccesses aggregates client-side access counts delivered
 	// via /v1/report (the Section V-A usage statistics).
 	ReportedAccesses metrics.Counter
@@ -151,10 +169,11 @@ type Metrics struct {
 	// SuspectNodes gauges how many members this node's failure detector
 	// currently suspects.
 	SuspectNodes metrics.Gauge
-	// FetchLatency / ResolveLatency are end-to-end handler latencies in
-	// seconds for client-facing requests.
-	FetchLatency   LatencyHist
-	ResolveLatency LatencyHist
+	// FetchLatency / ResolveLatency / SegmentFetchLatency are end-to-end
+	// handler latencies in seconds for client-facing requests.
+	FetchLatency        LatencyHist
+	ResolveLatency      LatencyHist
+	SegmentFetchLatency LatencyHist
 }
 
 // WriteExposition writes the node's metrics in a Prometheus-style text
@@ -195,6 +214,13 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 		{"scdn_store_materialize_bytes_total", &m.StoreMaterializedBytes},
 		{"scdn_store_spills_total", &m.StoreSpills},
 		{"scdn_store_spill_failures_total", &m.StoreSpillFailures},
+		{"scdn_segmented_serves_total", &m.SegmentedServes},
+		{"scdn_segment_fetch_requests_total", &m.SegmentFetchRequests},
+		{"scdn_segment_fetch_failures_total", &m.SegmentFetchFailures},
+		{"scdn_peer_segment_fetch_requests_total", &m.PeerSegmentFetchRequests},
+		{"scdn_segment_pulls_total", &m.SegmentPulls},
+		{"scdn_store_fadvise_sequential_total", &m.StoreFadviseSequential},
+		{"scdn_store_fadvise_dontneed_total", &m.StoreFadviseDontNeed},
 		{"scdn_reported_accesses_total", &m.ReportedAccesses},
 		{"scdn_probe_failures_total", &m.ProbeFailures},
 		{"scdn_repair_sweeps_total", &m.RepairSweeps},
@@ -225,6 +251,7 @@ func (m *Metrics) WriteExposition(w io.Writer, up time.Duration) error {
 	}{
 		{"scdn_fetch_latency_seconds", &m.FetchLatency},
 		{"scdn_resolve_latency_seconds", &m.ResolveLatency},
+		{"scdn_segment_fetch_latency_seconds", &m.SegmentFetchLatency},
 	}
 	for _, h := range hists {
 		s := h.h.Summary()

@@ -73,6 +73,21 @@ type Config struct {
 	// with no arriving stripe before the sweeper aborts it and deletes
 	// its temp file. Zero means 15s.
 	UploadIdleTimeout time.Duration
+	// SegmentSize is the fixed segment size of the large-object layout
+	// (segments.go); it must be a positive multiple of the ingest block
+	// size so every segment boundary is a digest boundary. Zero means
+	// storage.DefaultSegmentSize.
+	SegmentSize int64
+	// SegmentThreshold is the dataset size at or above which the node
+	// stores and serves bytes as segments instead of one flat file. Zero
+	// means storage.DefaultSegmentThreshold; negative disables the
+	// segmented layout entirely.
+	SegmentThreshold int64
+	// KeepSegmentPages disables the page-cache hygiene drop
+	// (posix_fadvise DONTNEED) behind completed sequential segment
+	// serves. Set it when the box is dedicated to serving one hot large
+	// object and the pages are worth keeping.
+	KeepSegmentPages bool
 	// Clock supplies the node's notion of elapsed time (repository
 	// recency, token expiry). Nil means wall time since Start.
 	Clock func() time.Duration
@@ -99,6 +114,11 @@ type Node struct {
 	// (upload.go).
 	upMu    sync.Mutex
 	uploads map[storage.DatasetID]*uploadSession
+
+	// segIdxMu guards segIdx, the per-dataset cache of rolled-up
+	// segment digests published on /v1/resolve (segments.go).
+	segIdxMu sync.Mutex
+	segIdx   map[storage.DatasetID][]string
 
 	// suspects is the node's local failure-detector state: members whose
 	// last health probe failed. The fetch path skips suspects before the
@@ -148,6 +168,16 @@ func NewNode(cfg Config, repo *storage.Repository, auth *middleware.Middleware,
 	}
 	if cfg.UploadIdleTimeout <= 0 {
 		cfg.UploadIdleTimeout = 15 * time.Second
+	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = storage.DefaultSegmentSize
+	}
+	if cfg.SegmentThreshold == 0 {
+		cfg.SegmentThreshold = storage.DefaultSegmentThreshold
+	}
+	if cfg.SegmentSize <= 0 || cfg.SegmentSize%ingest.DefaultBlockSize != 0 {
+		return nil, fmt.Errorf("server: segment size %d is not a positive multiple of the %d-byte ingest block",
+			cfg.SegmentSize, ingest.DefaultBlockSize)
 	}
 	n := &Node{
 		cfg:       cfg,
@@ -342,6 +372,11 @@ func (n *Node) readoptReplicas() {
 	var ids []storage.DatasetID
 	if n.vol != nil {
 		for _, id := range n.vol.IDs() {
+			// Segment entries are pieces, not replicas: holding some
+			// segments of a dataset is never a catalog claim to hold it.
+			if _, _, isSeg := storage.ParseSegmentKey(id); isSeg {
+				continue
+			}
 			if !seen[id] {
 				seen[id] = true
 				ids = append(ids, id)

@@ -49,6 +49,12 @@ type DiskVolume struct {
 	evictions uint64
 	inflight  map[DatasetID]chan struct{} // singleflight materializations
 	tmpSeq    uint64
+
+	// segMu guards the interned segment-key table (segment.go). Its own
+	// lock, not v.mu: key interning is read-mostly and must not contend
+	// with the index on the serve path.
+	segMu   sync.RWMutex
+	segKeys map[DatasetID][]DatasetID
 }
 
 // maxPooledFDs caps the idle read handles kept per dataset. Four covers
@@ -84,6 +90,7 @@ func NewDiskVolume(dir string, quota int64) (*DiskVolume, error) {
 		ll:       list.New(),
 		items:    make(map[DatasetID]*list.Element),
 		inflight: make(map[DatasetID]chan struct{}),
+		segKeys:  make(map[DatasetID][]DatasetID),
 	}
 	for _, d := range []string{v.dataDir(), v.tmpDir()} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -182,11 +189,19 @@ func (v *DiskVolume) IDs() []DatasetID {
 // until Release — pooled handles are never shared, so callers may Seek
 // freely (http.ServeContent does). A miss returns ok == false.
 func (v *DiskVolume) Open(id DatasetID) (f *os.File, size int64, ok bool) {
+	f, size, _, ok = v.open(id)
+	return f, size, ok
+}
+
+// open is Open plus a freshness report: fresh is true when the handle
+// came from open(2) rather than the FD pool, which is when per-
+// descriptor advice (readahead hints) is worth applying.
+func (v *DiskVolume) open(id DatasetID) (f *os.File, size int64, fresh, ok bool) {
 	v.mu.Lock()
 	el, present := v.items[id]
 	if !present {
 		v.mu.Unlock()
-		return nil, 0, false
+		return nil, 0, false, false
 	}
 	v.ll.MoveToFront(el)
 	e := el.Value.(*diskEntry)
@@ -195,7 +210,7 @@ func (v *DiskVolume) Open(id DatasetID) (f *os.File, size int64, ok bool) {
 		f = e.fds[n-1]
 		e.fds = e.fds[:n-1]
 		v.mu.Unlock()
-		return f, size, true
+		return f, size, false, true
 	}
 	v.mu.Unlock()
 	f, err := os.Open(v.path(id))
@@ -213,9 +228,9 @@ func (v *DiskVolume) Open(id DatasetID) (f *os.File, size int64, ok bool) {
 		v.mu.Unlock()
 		v.reap(cs)
 		v.fsMu.Unlock()
-		return nil, 0, false
+		return nil, 0, false, false
 	}
-	return f, size, true
+	return f, size, true, true
 }
 
 // Release returns a handle obtained from Open. Handles rewind to offset
